@@ -1,0 +1,54 @@
+// E4 — Section II bitwidth analysis:
+// "To achieve high model accuracy, the required bitwidth for CNEWS, MRPC,
+//  and CoLA are 8 bits (6-bit integer, 2-bit decimal), 9 bits (6-bit
+//  integer, 3-bit decimal), and 7 bits (5-bit integer, 2-bit decimal)."
+//
+// Runs the required-bitwidth search on the synthetic dataset profiles and
+// prints the per-format accuracy-proxy sweep behind each decision.
+#include <cstdio>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "workload/accuracy_proxy.hpp"
+#include "workload/dataset_profile.hpp"
+
+int main() {
+  using namespace star;
+  std::printf("E4: required softmax operand bitwidth per dataset "
+              "(BERT-base attention scores)\n\n");
+
+  const workload::ProxyConfig cfg;
+  CsvWriter csv("bench_bitwidth.csv");
+  csv.header({"dataset", "int_bits", "frac_bits", "mean_kl", "top1_agreement"});
+
+  TablePrinter sweep({"dataset", "format", "mean KL", "top-1 agreement", "passes"});
+  for (const auto& profile : workload::DatasetProfile::all()) {
+    const auto chosen = workload::required_bitwidth(profile, cfg);
+    for (int f = 1; f <= 4; ++f) {
+      const fxp::QFormat fmt = fxp::make_unsigned(chosen.int_bits, f);
+      const auto m = workload::evaluate_format(profile, fmt, cfg);
+      const bool passes =
+          m.top1_agreement >= cfg.top1_threshold && m.mean_kl <= cfg.kl_threshold;
+      sweep.add_row({profile.name, fmt.name(), TablePrinter::num(m.mean_kl, 6),
+                     TablePrinter::num(m.top1_agreement, 4), passes ? "yes" : "no"});
+      csv.row({profile.name, std::to_string(chosen.int_bits), std::to_string(f),
+               CsvWriter::num(m.mean_kl), CsvWriter::num(m.top1_agreement)});
+    }
+  }
+  sweep.print();
+
+  std::printf("\n");
+  TablePrinter result({"dataset", "required bits", "format", "paper"});
+  for (const auto& profile : workload::DatasetProfile::all()) {
+    const auto r = workload::required_bitwidth(profile, cfg);
+    const fxp::QFormat fmt = fxp::make_unsigned(r.int_bits, r.frac_bits);
+    result.add_row(
+        {profile.name, std::to_string(r.total_bits()), fmt.name(),
+         std::to_string(profile.expected_int_bits + profile.expected_frac_bits) +
+             " bits (" + std::to_string(profile.expected_int_bits) + "-bit integer, " +
+             std::to_string(profile.expected_frac_bits) + "-bit decimal)"});
+  }
+  result.print();
+  std::printf("series written to bench_bitwidth.csv\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E12 (extension) — calibration sensitivity: perturb every calibrated
+// system constant by +/-25% and check that Fig. 3's qualitative claims
+// (strict ordering GPU < PipeLayer < ReTransformer < STAR) survive.
+// The absolute GOPs/s/W level moves — the ordering must not.
+#include <cstdio>
+
+#include "baseline/gpu_model.hpp"
+#include "baseline/pipelayer.hpp"
+#include "baseline/retransformer.hpp"
+#include "core/accelerator.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace star;
+
+struct Point {
+  double gpu, pl, rt, star;
+  [[nodiscard]] bool ordered() const { return gpu < pl && pl < rt && rt < star; }
+};
+
+Point evaluate(const core::SystemOverheads& ov, double write_scale,
+               double gpu_overhead_scale) {
+  const nn::BertConfig bert = nn::BertConfig::base();
+  core::StarConfig cfg;
+  cfg.softmax_format = fxp::kMrpcFormat;
+  cfg.device.write_energy_per_cell = Energy::pJ(2.0 * write_scale);
+  cfg.device.write_pulse = Time::ns(10.0 * write_scale);
+
+  baseline::GpuModelConfig gcfg;
+  gcfg.layer_overhead = Time::us(22.0 * gpu_overhead_scale);
+
+  const baseline::GpuModel gpu(gcfg);
+  const baseline::PipeLayerModel pl(cfg, ov);
+  const baseline::ReTransformerModel rt(cfg, ov);
+  const core::StarAccelerator star_acc(cfg, ov);
+
+  return Point{gpu.run_attention_layer(bert, 128).gops_per_watt(),
+               pl.run_attention_layer(bert, 128).report.gops_per_watt(),
+               rt.run_attention_layer(bert, 128).report.gops_per_watt(),
+               star_acc.run_attention_layer(bert, 128).report.gops_per_watt()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E12: Fig. 3 ordering under +/-25%% perturbation of every "
+              "calibrated constant\n\n");
+
+  TablePrinter table({"perturbation", "GPU", "PipeLayer", "ReTransformer", "STAR",
+                      "ordering holds"});
+  int holds = 0, total = 0;
+
+  for (const double row_ovh : {0.75, 1.0, 1.25}) {
+    for (const double static_pt : {0.75, 1.0, 1.25}) {
+      for (const double write : {0.75, 1.0, 1.25}) {
+        for (const double gpu_ovh : {0.75, 1.0, 1.25}) {
+          core::SystemOverheads ov;
+          ov.per_row_overhead = Time::ns(800.0 * row_ovh);
+          ov.static_per_tile = Power::uW(875.0 * static_pt);
+          const Point p = evaluate(ov, write, gpu_ovh);
+          ++total;
+          holds += p.ordered() ? 1 : 0;
+          // Print the corners and the nominal point only.
+          const bool corner = (row_ovh != 1.0 && static_pt != 1.0 &&
+                               write != 1.0 && gpu_ovh != 1.0) ||
+                              (row_ovh == 1.0 && static_pt == 1.0 &&
+                               write == 1.0 && gpu_ovh == 1.0);
+          if (corner) {
+            char label[64];
+            std::snprintf(label, sizeof(label), "ovh%.2f stat%.2f wr%.2f gpu%.2f",
+                          row_ovh, static_pt, write, gpu_ovh);
+            table.add_row({label, TablePrinter::num(p.gpu, 1),
+                           TablePrinter::num(p.pl, 1), TablePrinter::num(p.rt, 1),
+                           TablePrinter::num(p.star, 1),
+                           p.ordered() ? "yes" : "NO"});
+          }
+        }
+      }
+    }
+  }
+  table.print();
+  std::printf("\nordering held in %d / %d perturbed configurations\n", holds, total);
+  return holds == total ? 0 : 1;
+}

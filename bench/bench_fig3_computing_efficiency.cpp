@@ -1,0 +1,70 @@
+// E6 — Fig. 3: computing efficiency comparison.
+//
+// "STAR achieves the computing efficiency of 612.66 GOPs/s/W. Compared to
+//  GPU, Pipelayer and ReTransformer, STAR improves the computing efficiency
+//  by 30.63x, 4.32x and 1.31x, respectively."
+//
+// BERT-base attention layer, sequence length 128.
+#include <cstdio>
+
+#include "baseline/gpu_model.hpp"
+#include "baseline/pipelayer.hpp"
+#include "baseline/retransformer.hpp"
+#include "core/accelerator.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace star;
+  const nn::BertConfig bert = nn::BertConfig::base();
+  const std::int64_t seq_len = 128;
+
+  core::StarConfig cfg;
+  cfg.softmax_format = fxp::kMrpcFormat;  // 9-bit engine geometry (Section III)
+
+  const baseline::GpuModel gpu;
+  const baseline::PipeLayerModel pipelayer(cfg);
+  const baseline::ReTransformerModel retransformer(cfg);
+  const core::StarAccelerator star_acc(cfg);
+
+  const auto g = gpu.run_attention_layer(bert, seq_len);
+  const auto p = pipelayer.run_attention_layer(bert, seq_len);
+  const auto r = retransformer.run_attention_layer(bert, seq_len);
+  const auto s = star_acc.run_attention_layer(bert, seq_len);
+
+  std::printf("E6 / Fig. 3: computing efficiency (BERT-base attention, L=%lld)\n\n",
+              static_cast<long long>(seq_len));
+
+  TablePrinter table(
+      {"platform", "GOPs/s/W", "latency", "power", "STAR speedup", "paper speedup"});
+  const double star_eff = s.report.gops_per_watt();
+  auto add = [&](const hw::RunReport& rep, Time lat, Power pow, const char* paper) {
+    table.add_row({rep.engine_name, TablePrinter::num(rep.gops_per_watt(), 2),
+                   to_string(lat), to_string(pow),
+                   TablePrinter::num(star_eff / rep.gops_per_watt(), 2) + "x", paper});
+  };
+  add(g, g.latency, g.avg_power, "30.63x");
+  add(p.report, p.latency, p.power, "4.32x");
+  add(r.report, r.latency, r.power, "1.31x");
+  add(s.report, s.latency, s.power, "1.00x");
+  table.print();
+
+  std::printf("\npaper: STAR = 612.66 GOPs/s/W   measured: %.2f GOPs/s/W\n", star_eff);
+  std::printf("STAR: %lld matmul tiles/layer, %d softmax engines, "
+              "softmax energy share %.2f%%, pipeline speedup %.2fx\n",
+              static_cast<long long>(s.matmul_tiles), s.softmax_engines,
+              100.0 * s.softmax_energy.as_J() / s.energy.as_J(), s.pipeline_speedup);
+
+  CsvWriter csv("bench_fig3.csv");
+  csv.header({"platform", "gops_per_watt", "latency_us", "power_w"});
+  csv.row({"gpu", CsvWriter::num(g.gops_per_watt()), CsvWriter::num(g.latency.as_us()),
+           CsvWriter::num(g.avg_power.as_W())});
+  csv.row({"pipelayer", CsvWriter::num(p.report.gops_per_watt()),
+           CsvWriter::num(p.latency.as_us()), CsvWriter::num(p.power.as_W())});
+  csv.row({"retransformer", CsvWriter::num(r.report.gops_per_watt()),
+           CsvWriter::num(r.latency.as_us()), CsvWriter::num(r.power.as_W())});
+  csv.row({"star", CsvWriter::num(star_eff), CsvWriter::num(s.latency.as_us()),
+           CsvWriter::num(s.power.as_W())});
+  std::printf("rows written to bench_fig3.csv\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// E1 — the paper's motivating observation (Section I):
+// "the execution time of softmax grows quickly in attention models when the
+//  input sequence length increases. The latency of softmax exceeds that of
+//  matrix multiplication when the input sequence length is 512 in the
+//  BERT-base model, which reaches up to 59.20% of the whole execution time."
+//
+// Regenerates the softmax-share-vs-sequence-length series on the Titan RTX
+// model and writes bench_motivation.csv.
+#include <cstdio>
+
+#include "baseline/gpu_model.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace star;
+  const nn::BertConfig bert = nn::BertConfig::base();
+  const baseline::GpuModel gpu;
+
+  std::printf("E1: GPU softmax latency share vs sequence length "
+              "(BERT-base attention layer, Titan RTX model)\n\n");
+
+  TablePrinter table({"seq len", "matmul (us)", "softmax (us)", "softmax share",
+                      "softmax > matmul"});
+  CsvWriter csv("bench_motivation.csv");
+  csv.header({"seq_len", "matmul_us", "softmax_us", "softmax_share"});
+
+  for (const std::int64_t l : {64, 128, 256, 384, 512, 768, 1024}) {
+    const auto t = gpu.attention_layer_timing(bert, l);
+    const double share = t.softmax_share();
+    table.add_row({std::to_string(l), TablePrinter::num(t.matmul.as_us(), 1),
+                   TablePrinter::num(t.softmax.as_us(), 1),
+                   TablePrinter::num(100.0 * share, 2) + "%",
+                   t.softmax > t.matmul ? "yes" : "no"});
+    csv.row({std::to_string(l), CsvWriter::num(t.matmul.as_us()),
+             CsvWriter::num(t.softmax.as_us()), CsvWriter::num(share)});
+  }
+  table.print();
+
+  const auto t512 = gpu.attention_layer_timing(bert, 512);
+  std::printf("\npaper anchor: softmax share at L=512 = 59.20%%   "
+              "measured: %.2f%%\n",
+              100.0 * t512.softmax_share());
+  std::printf("paper anchor: crossover (softmax > matmul) at L=512   "
+              "measured crossover: %s\n",
+              gpu.attention_layer_timing(bert, 256).softmax_share() < 0.5 &&
+                      t512.softmax_share() > 0.5
+                  ? "between 256 and 512"
+                  : "NOT reproduced");
+  std::printf("series written to bench_motivation.csv\n");
+  return 0;
+}

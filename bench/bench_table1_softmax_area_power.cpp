@@ -1,0 +1,72 @@
+// E5 — Table I: comparison with the baseline CMOS softmax and Softermax.
+//
+//   Softmax Design | Area   | Power
+//   Softermax      | 0.33x  | 0.12x
+//   Ours (8-bit)   | 0.06x  | 0.05x
+//
+// "the evaluated model is the BERT-base model on the CNEWS dataset with a
+//  sequence length of 128." Power is reported at a common row rate (the
+//  softmax throughput the attention layer demands), which is how synthesis
+//  power at a target workload is compared.
+#include <cstdio>
+
+#include "baseline/cmos_softmax.hpp"
+#include "baseline/softermax.hpp"
+#include "core/softmax_engine.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace star;
+  const hw::TechNode tech = hw::TechNode::n32();
+  const int seq_len = 128;                 // Table I operating point
+  constexpr double kRowsPerSecond = 10e6;  // iso-throughput comparison rate
+
+  core::StarConfig cfg;
+  cfg.softmax_format = fxp::kCnewsFormat;  // "Ours (8-bit)"
+  const core::SoftmaxEngine ours(cfg);
+  const baseline::CmosSoftmaxUnit base(tech);
+  const baseline::SoftermaxUnit softer(tech);
+
+  auto iso_power = [&](Energy row_energy, Power leak) {
+    return row_energy * kRowsPerSecond / Time::s(1.0) + leak;
+  };
+  const Power p_base = iso_power(base.row_energy(seq_len), base.leakage());
+  const Power p_softer = iso_power(softer.row_energy(seq_len), softer.leakage());
+  const Power p_ours = iso_power(ours.row_energy(seq_len), ours.leakage());
+
+  std::printf("E5 / Table I: softmax engine area & power "
+              "(BERT-base, CNEWS, seq len %d, 32 nm)\n\n", seq_len);
+
+  TablePrinter table({"Softmax Design", "Area", "Power", "abs area", "abs power"});
+  table.add_row({"baseline CMOS", "1.00x", "1.00x", to_string(base.area()),
+                 to_string(p_base)});
+  table.add_row({"Softermax", TablePrinter::num(softer.area() / base.area(), 2) + "x",
+                 TablePrinter::num(p_softer / p_base, 2) + "x",
+                 to_string(softer.area()), to_string(p_softer)});
+  table.add_row({"Ours (8-bit)", TablePrinter::num(ours.area() / base.area(), 2) + "x",
+                 TablePrinter::num(p_ours / p_base, 2) + "x", to_string(ours.area()),
+                 to_string(p_ours)});
+  table.print();
+
+  std::printf("\npaper: Softermax 0.33x area / 0.12x power; Ours 0.06x / 0.05x\n");
+  std::printf("ours vs Softermax: area %.2fx (paper 0.20x), power %.2fx (paper 0.44x)\n",
+              ours.area() / softer.area(), p_ours / p_softer);
+
+  std::printf("\nSTAR softmax engine bill of materials (one engine, row of %d):\n%s\n",
+              seq_len, ours.cost_sheet(seq_len).breakdown().c_str());
+
+  CsvWriter csv("bench_table1.csv");
+  csv.header({"design", "area_mm2", "power_mw", "area_ratio", "power_ratio"});
+  csv.row({"baseline", CsvWriter::num(base.area().as_mm2()),
+           CsvWriter::num(p_base.as_mW()), "1", "1"});
+  csv.row({"softermax", CsvWriter::num(softer.area().as_mm2()),
+           CsvWriter::num(p_softer.as_mW()),
+           CsvWriter::num(softer.area() / base.area()),
+           CsvWriter::num(p_softer / p_base)});
+  csv.row({"star_8bit", CsvWriter::num(ours.area().as_mm2()),
+           CsvWriter::num(p_ours.as_mW()), CsvWriter::num(ours.area() / base.area()),
+           CsvWriter::num(p_ours / p_base)});
+  std::printf("rows written to bench_table1.csv\n");
+  return 0;
+}

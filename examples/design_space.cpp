@@ -1,0 +1,80 @@
+// Design-space exploration: sweep the softmax operand format and the
+// crossbar device, and chart how engine area/energy, system efficiency and
+// accuracy move — the trade-off surface STAR navigates.
+//
+//   $ ./design_space
+#include <cstdio>
+
+#include "core/accelerator.hpp"
+#include "core/softmax_engine.hpp"
+#include "util/table.hpp"
+#include "workload/accuracy_proxy.hpp"
+#include "workload/dataset_profile.hpp"
+
+int main() {
+  using namespace star;
+  const nn::BertConfig bert = nn::BertConfig::base();
+
+  std::printf("=== Operand format sweep (engine + system view) ===\n\n");
+  TablePrinter fmt_table({"format", "engine area", "row energy", "engines needed",
+                          "system GOPs/s/W", "MRPC top-1"});
+  for (const auto& fmt :
+       {fxp::make_unsigned(5, 2), fxp::make_unsigned(6, 2), fxp::make_unsigned(6, 3),
+        fxp::make_unsigned(7, 3)}) {
+    core::StarConfig cfg;
+    cfg.softmax_format = fmt;
+    const core::SoftmaxEngine eng(cfg);
+    const core::StarAccelerator acc(cfg);
+    const auto res = acc.run_attention_layer(bert, 128);
+    const auto proxy =
+        workload::evaluate_format(workload::DatasetProfile::mrpc(), fmt);
+    fmt_table.add_row({fmt.name(), to_string(eng.area()),
+                       to_string(eng.row_energy(128)),
+                       std::to_string(acc.engines_needed(bert, 128)),
+                       TablePrinter::num(res.report.gops_per_watt(), 1),
+                       TablePrinter::num(proxy.top1_agreement, 4)});
+  }
+  fmt_table.print();
+
+  std::printf("\n=== Device corner sweep (9-bit engine) ===\n\n");
+  TablePrinter dev_table({"device corner", "bits/cell", "program sigma",
+                          "engine area", "system GOPs/s/W"});
+  struct Corner {
+    const char* name;
+    xbar::RramDevice device;
+  };
+  const Corner corners[] = {
+      {"ideal 2b/cell", xbar::RramDevice::ideal(2)},
+      {"ideal 1b/cell", xbar::RramDevice::ideal(1)},
+      {"noisy 2b/cell (3% sigma)", xbar::RramDevice::noisy(2, 0.03, 0.01)},
+  };
+  for (const auto& corner : corners) {
+    core::StarConfig cfg;
+    cfg.softmax_format = fxp::kMrpcFormat;
+    cfg.device = corner.device;
+    const core::SoftmaxEngine eng(cfg);
+    const core::StarAccelerator acc(cfg);
+    const auto res = acc.run_attention_layer(bert, 128);
+    dev_table.add_row({corner.name, std::to_string(corner.device.bits_per_cell),
+                       TablePrinter::num(corner.device.program_sigma_log, 2),
+                       to_string(eng.area()),
+                       TablePrinter::num(res.report.gops_per_watt(), 1)});
+  }
+  dev_table.print();
+
+  std::printf("\n=== Sequence length sweep (system view, 9-bit engine) ===\n\n");
+  TablePrinter len_table({"seq len", "latency", "power", "GOPs/s/W",
+                          "softmax engines"});
+  core::StarConfig cfg;
+  cfg.softmax_format = fxp::kMrpcFormat;
+  const core::StarAccelerator acc(cfg);
+  for (const std::int64_t l : {64, 128, 256, 512, 1024}) {
+    const auto res = acc.run_attention_layer(bert, l);
+    len_table.add_row({std::to_string(l), to_string(res.latency),
+                       to_string(res.power),
+                       TablePrinter::num(res.report.gops_per_watt(), 1),
+                       std::to_string(res.softmax_engines)});
+  }
+  len_table.print();
+  return 0;
+}

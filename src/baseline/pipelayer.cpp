@@ -1,0 +1,100 @@
+#include "baseline/pipelayer.hpp"
+
+#include "util/status.hpp"
+
+namespace star::baseline {
+
+PipeLayerModel::PipeLayerModel(const core::StarConfig& cfg,
+                               core::SystemOverheads overheads, PipeLayerParams params,
+                               CmosSoftmaxConfig softmax_cfg)
+    : cfg_(cfg),
+      overheads_(overheads),
+      params_(params),
+      matmul_(cfg),
+      softmax_(cfg.tech, softmax_cfg) {
+  cfg_.validate();
+  require(params_.spike_pass_factor >= 1.0,
+          "PipeLayerModel: spike_pass_factor must be >= 1");
+  require(params_.weight_replication >= 1,
+          "PipeLayerModel: weight_replication must be >= 1");
+}
+
+core::StageTimes PipeLayerModel::stage_times(const nn::BertConfig& bert,
+                                             std::int64_t seq_len) const {
+  bert.validate();
+  require(seq_len >= 2, "PipeLayerModel::stage_times: seq_len must be >= 2");
+  (void)bert;
+  const Time mm_row = matmul_.tile_latency() * params_.spike_pass_factor +
+                      overheads_.per_row_overhead;
+  core::StageTimes t;
+  t.proj_row = mm_row;
+  t.score_row = mm_row;
+  t.softmax_row = softmax_.row_latency(static_cast<int>(seq_len));
+  t.context_row = mm_row;
+  t.outproj_row = mm_row;
+  return t;
+}
+
+core::AttentionRunResult PipeLayerModel::run_attention_layer(
+    const nn::BertConfig& bert, std::int64_t seq_len) const {
+  bert.validate();
+  require(seq_len >= 2, "PipeLayerModel: seq_len must be >= 2");
+
+  const auto counts = nn::attention_op_counts(bert, seq_len);
+  const core::StageTimes t = stage_times(bert, seq_len);
+
+  const core::PipelineReport pipe = core::run_pipeline(
+      t, static_cast<std::size_t>(seq_len), core::PipelineDiscipline::kOperandGrained);
+
+  const auto proj = matmul_.stream_cost(seq_len, bert.d_model, bert.d_model, false);
+  const auto score = matmul_.stream_cost(seq_len, bert.d_head(), seq_len, true);
+  const auto context = matmul_.stream_cost(seq_len, seq_len, bert.d_head(), true);
+  const double heads = static_cast<double>(bert.heads);
+
+  // The probability matrix P (seq_len x seq_len) must also be programmed
+  // before the context multiply: PipeLayer's dataflow keeps one operand of
+  // every matmul resident in RRAM.
+  const auto p_write = matmul_.stream_cost(seq_len, seq_len, bert.d_head(), true);
+
+  // Spike encoding multiplies read passes, hence read energy.
+  const Energy e_mm = (proj.energy * 4.0 + (score.energy + context.energy) * heads) *
+                      params_.spike_pass_factor;
+  const Energy e_write =
+      (score.write_energy + context.write_energy + p_write.write_energy) * heads;
+  const Energy e_softmax = softmax_.row_energy(static_cast<int>(seq_len)) *
+                           (heads * static_cast<double>(seq_len));
+
+  // Writes sit on the critical path: K^T/V before the score/context
+  // streams, P between softmax and context.
+  const Time write_stalls =
+      score.write_latency + context.write_latency + p_write.write_latency;
+
+  core::AttentionRunResult res;
+  res.latency = pipe.makespan + write_stalls;
+  res.energy = e_mm + e_write + e_softmax;
+  res.softmax_energy = e_softmax;
+  res.write_energy = e_write;
+  res.softmax_block_latency = t.softmax_row * static_cast<double>(seq_len);
+  res.matmul_tiles =
+      4 * proj.tiles + bert.heads * (score.tiles + context.tiles + p_write.tiles);
+  res.softmax_engines = 1;
+  res.pipeline_speedup = 1.0;
+
+  const std::int64_t layers = overheads_.provision_all_layers ? bert.layers : 1;
+  const std::int64_t chip_tiles =
+      res.matmul_tiles * layers * params_.weight_replication;
+  const Power p_static =
+      matmul_.leakage_for_tiles(chip_tiles) +
+      overheads_.static_per_tile * static_cast<double>(chip_tiles) +
+      softmax_.leakage() * static_cast<double>(bert.heads);
+  res.power = res.energy / res.latency + p_static;
+
+  res.report.engine_name = "PipeLayer";
+  res.report.total_ops = counts.total_ops();
+  res.report.latency = res.latency;
+  res.report.energy = res.energy;
+  res.report.avg_power = res.power;
+  return res;
+}
+
+}  // namespace star::baseline

@@ -1,0 +1,55 @@
+// PipeLayer (Song et al., HPCA 2017) architecture model.
+//
+// PipeLayer is a layer-pipelined RRAM CNN accelerator retrofitted to the
+// attention workload (as the paper's Fig. 3 does). Three structural
+// penalties against ReTransformer/STAR:
+//   1. no matrix-decomposition: the dynamic matrices (K^T, V *and* the
+//      probability matrix P) must be programmed into crossbars on the
+//      critical path before they can be multiplied;
+//   2. spike-based input encoding: activations stream as unary spike
+//      trains, multiplying the number of read passes per input vector;
+//   3. softmax is a CMOS unit at operand granularity (as in ReTransformer).
+#pragma once
+
+#include "baseline/cmos_softmax.hpp"
+#include "core/accelerator.hpp"
+#include "core/config.hpp"
+#include "core/matmul_engine.hpp"
+#include "core/pipeline.hpp"
+#include "hw/report.hpp"
+#include "nn/bert.hpp"
+
+namespace star::baseline {
+
+struct PipeLayerParams {
+  /// Read-pass multiplier of the spike encoding relative to bit-serial
+  /// binary inputs (unary coding of b-bit values needs 2^b/b more passes;
+  /// PipeLayer's hybrid coding lands far below that worst case).
+  double spike_pass_factor = 3.25;
+  /// PipeLayer duplicates weight arrays across pipeline stages to sustain
+  /// its intra-layer parallelism (a headline design choice of the paper),
+  /// which multiplies the provisioned tile count and hence static power.
+  int weight_replication = 2;
+};
+
+class PipeLayerModel {
+ public:
+  PipeLayerModel(const core::StarConfig& cfg, core::SystemOverheads overheads = {},
+                 PipeLayerParams params = {},
+                 CmosSoftmaxConfig softmax_cfg = compact_cmos_softmax());
+
+  [[nodiscard]] core::AttentionRunResult run_attention_layer(
+      const nn::BertConfig& bert, std::int64_t seq_len) const;
+
+  [[nodiscard]] core::StageTimes stage_times(const nn::BertConfig& bert,
+                                             std::int64_t seq_len) const;
+
+ private:
+  core::StarConfig cfg_;
+  core::SystemOverheads overheads_;
+  PipeLayerParams params_;
+  core::MatmulEngine matmul_;
+  CmosSoftmaxUnit softmax_;
+};
+
+}  // namespace star::baseline

@@ -1,0 +1,115 @@
+#include "core/accelerator.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+#include "util/status.hpp"
+
+namespace star::core {
+
+StarAccelerator::StarAccelerator(const StarConfig& cfg, SystemOverheads overheads)
+    : cfg_(cfg), overheads_(overheads), matmul_(cfg), softmax_(cfg) {
+  cfg_.validate();
+}
+
+StageTimes StarAccelerator::stage_times(const nn::BertConfig& bert,
+                                        std::int64_t seq_len) const {
+  bert.validate();
+  require(seq_len >= 2, "stage_times: seq_len must be >= 2");
+
+  const Time mm_row = matmul_.tile_latency() + overheads_.per_row_overhead;
+  const int per_head = std::max(
+      1, static_cast<int>(std::ceil(softmax_.row_latency(static_cast<int>(seq_len)) /
+                                    mm_row)));
+  StageTimes t;
+  t.proj_row = mm_row;
+  t.score_row = mm_row;
+  t.softmax_row =
+      softmax_.row_latency(static_cast<int>(seq_len)) / static_cast<double>(per_head);
+  t.context_row = mm_row;
+  t.outproj_row = mm_row;
+  return t;
+}
+
+int StarAccelerator::engines_needed(const nn::BertConfig& bert,
+                                    std::int64_t seq_len) const {
+  const Time mm_row = matmul_.tile_latency() + overheads_.per_row_overhead;
+  const int per_head = std::max(
+      1, static_cast<int>(std::ceil(softmax_.row_latency(static_cast<int>(seq_len)) /
+                                    mm_row)));
+  return per_head * static_cast<int>(bert.heads);
+}
+
+std::int64_t StarAccelerator::tiles_per_layer(const nn::BertConfig& bert,
+                                              std::int64_t seq_len) const {
+  const auto proj = matmul_.stream_cost(seq_len, bert.d_model, bert.d_model, false);
+  const auto score = matmul_.stream_cost(seq_len, bert.d_head(), seq_len, true);
+  const auto context = matmul_.stream_cost(seq_len, seq_len, bert.d_head(), true);
+  return 4 * proj.tiles + bert.heads * (score.tiles + context.tiles);
+}
+
+Area StarAccelerator::total_area(const nn::BertConfig& bert,
+                                 std::int64_t seq_len) const {
+  const std::int64_t layers = overheads_.provision_all_layers ? bert.layers : 1;
+  return matmul_.area_for_tiles(tiles_per_layer(bert, seq_len) * layers) +
+         softmax_.area() * static_cast<double>(engines_needed(bert, seq_len));
+}
+
+AttentionRunResult StarAccelerator::run_attention_layer(const nn::BertConfig& bert,
+                                                        std::int64_t seq_len) const {
+  bert.validate();
+  require(seq_len >= 2, "run_attention_layer: seq_len must be >= 2");
+
+  const auto counts = nn::attention_op_counts(bert, seq_len);
+  const StageTimes t = stage_times(bert, seq_len);
+
+  // All heads run in parallel hardware; the layer makespan is one head's
+  // row pipeline over seq_len rows.
+  const PipelineReport pipe =
+      run_pipeline(t, static_cast<std::size_t>(seq_len),
+                   PipelineDiscipline::kVectorGrained);
+  const PipelineReport operand_pipe =
+      run_pipeline(t, static_cast<std::size_t>(seq_len),
+                   PipelineDiscipline::kOperandGrained);
+
+  // --- energy ---
+  const auto proj = matmul_.stream_cost(seq_len, bert.d_model, bert.d_model, false);
+  const auto score = matmul_.stream_cost(seq_len, bert.d_head(), seq_len, true);
+  const auto context = matmul_.stream_cost(seq_len, seq_len, bert.d_head(), true);
+  const double heads = static_cast<double>(bert.heads);
+
+  Energy e_mm = proj.energy * 4.0 + (score.energy + context.energy) * heads;
+  // Dynamic-matrix programming (K^T and V per head). STAR hides the write
+  // latency under the projection phase but pays the energy.
+  const Energy e_write = (score.write_energy + context.write_energy) * heads;
+  const Energy e_softmax = softmax_.row_energy(static_cast<int>(seq_len)) *
+                           (heads * static_cast<double>(seq_len));
+
+  AttentionRunResult res;
+  res.latency = pipe.makespan;
+  res.energy = e_mm + e_write + e_softmax;
+  res.softmax_energy = e_softmax;
+  res.write_energy = e_write;
+  res.softmax_block_latency = t.softmax_row * static_cast<double>(seq_len);
+  res.matmul_tiles = tiles_per_layer(bert, seq_len);
+  res.softmax_engines = engines_needed(bert, seq_len);
+  res.pipeline_speedup = operand_pipe.makespan / pipe.makespan;
+
+  // --- power ---
+  const std::int64_t layers = overheads_.provision_all_layers ? bert.layers : 1;
+  const std::int64_t chip_tiles = res.matmul_tiles * layers;
+  const Power p_static =
+      matmul_.leakage_for_tiles(chip_tiles) +
+      overheads_.static_per_tile * static_cast<double>(chip_tiles) +
+      softmax_.leakage() * static_cast<double>(res.softmax_engines);
+  res.power = res.energy / res.latency + p_static;
+
+  res.report.engine_name = "STAR";
+  res.report.total_ops = counts.total_ops();
+  res.report.latency = res.latency;
+  res.report.energy = res.energy;
+  res.report.avg_power = res.power;
+  return res;
+}
+
+}  // namespace star::core

@@ -1,0 +1,93 @@
+// STAR accelerator top-level model: MatMul engine + replicated softmax
+// engines + the vector-grained global pipeline, evaluated on the BERT-base
+// attention workload (paper §III / Fig. 3).
+#pragma once
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "core/matmul_engine.hpp"
+#include "core/pipeline.hpp"
+#include "core/softmax_engine.hpp"
+#include "hw/report.hpp"
+#include "nn/bert.hpp"
+#include "nn/opcount.hpp"
+
+namespace star::core {
+
+/// System-level overheads shared by every crossbar accelerator model in the
+/// comparison (STAR, ReTransformer, PipeLayer). Structural differences
+/// between the architectures live in their schedules, not here.
+struct SystemOverheads {
+  /// Extra per-row time for inter-tile accumulation, H-tree traversal and
+  /// buffer staging on top of the raw tile latency.
+  // calibrated: absolute Fig. 3 scale (see DESIGN.md §4.3).
+  Time per_row_overhead = Time::ns(800.0);
+
+  /// Static power per instantiated tile (clock distribution, control,
+  /// buffer retention) on top of modelled leakage.
+  // calibrated: absolute Fig. 3 scale.
+  Power static_per_tile = Power::uW(875.0);
+
+  /// The chip provisions weight tiles for every layer of the model (weights
+  /// are resident in RRAM, the whole point of PIM), so static power scales
+  /// with the full-model tile count even when one layer is being measured.
+  bool provision_all_layers = true;
+};
+
+/// Everything the Fig. 3 comparison needs from one run.
+struct AttentionRunResult {
+  hw::RunReport report;
+  Time latency{};
+  Energy energy{};
+  Power power{};
+  // Breakdown
+  Time softmax_block_latency{};   ///< softmax stage contribution
+  Energy softmax_energy{};
+  Energy write_energy{};
+  std::int64_t matmul_tiles = 0;  ///< tiles instantiated for one layer
+  int softmax_engines = 0;
+  double pipeline_speedup = 1.0;  ///< vector- vs operand-grained, same HW
+};
+
+class StarAccelerator {
+ public:
+  StarAccelerator(const StarConfig& cfg, SystemOverheads overheads = {});
+
+  /// Model one BERT attention layer at sequence length `seq_len` and report
+  /// latency / energy / power / GOPs/s/W.
+  [[nodiscard]] AttentionRunResult run_attention_layer(const nn::BertConfig& bert,
+                                                       std::int64_t seq_len) const;
+
+  /// The per-row stage times the pipeline sees (exposed for the ablation
+  /// bench, which flips the discipline on identical hardware).
+  [[nodiscard]] StageTimes stage_times(const nn::BertConfig& bert,
+                                       std::int64_t seq_len) const;
+
+  [[nodiscard]] MatmulEngine& matmul_engine() { return matmul_; }
+  [[nodiscard]] const MatmulEngine& matmul_engine() const { return matmul_; }
+  [[nodiscard]] SoftmaxEngine& softmax_engine() { return softmax_; }
+  [[nodiscard]] const SoftmaxEngine& softmax_engine() const { return softmax_; }
+  [[nodiscard]] const StarConfig& config() const { return cfg_; }
+  [[nodiscard]] const SystemOverheads& overheads() const { return overheads_; }
+
+  /// Tiles one layer's attention block instantiates (projections + dynamic
+  /// score/context tiles for every head).
+  [[nodiscard]] std::int64_t tiles_per_layer(const nn::BertConfig& bert,
+                                             std::int64_t seq_len) const;
+
+  /// Softmax engine replicas needed to keep the softmax stage off the
+  /// critical path at this sequence length.
+  [[nodiscard]] int engines_needed(const nn::BertConfig& bert,
+                                   std::int64_t seq_len) const;
+
+  [[nodiscard]] Area total_area(const nn::BertConfig& bert, std::int64_t seq_len) const;
+
+ private:
+  StarConfig cfg_;
+  SystemOverheads overheads_;
+  MatmulEngine matmul_;
+  mutable SoftmaxEngine softmax_;
+};
+
+}  // namespace star::core

@@ -1,0 +1,64 @@
+#include "core/encoder_model.hpp"
+
+#include "hw/gates.hpp"
+#include "nn/opcount.hpp"
+#include "util/status.hpp"
+
+namespace star::core {
+
+EncoderModel::EncoderModel(const StarConfig& cfg, SystemOverheads overheads)
+    : cfg_(cfg), overheads_(overheads), accel_(cfg, overheads) {}
+
+EncoderRunResult EncoderModel::run_encoder_layer(const nn::BertConfig& bert,
+                                                 std::int64_t seq_len) const {
+  bert.validate();
+  require(seq_len >= 2, "EncoderModel: seq_len must be >= 2");
+
+  EncoderRunResult res;
+  res.attention = accel_.run_attention_layer(bert, seq_len);
+
+  // FFN: two static matmuls (d_model x d_ff and d_ff x d_model) streamed at
+  // the same row rate; both stripes pipeline behind the attention block, so
+  // the FFN adds its own row-pipelined makespan.
+  const MatmulEngine& matmul = accel_.matmul_engine();
+  const auto ff1 = matmul.stream_cost(seq_len, bert.d_model, bert.d_ff, false);
+  const auto ff2 = matmul.stream_cost(seq_len, bert.d_ff, bert.d_model, false);
+  const Time ffn_row = matmul.tile_latency() + overheads_.per_row_overhead;
+  // The two FFN matmuls row-pipeline against each other: one fill plus
+  // seq_len rows at the bottleneck rate.
+  res.ffn_latency = ffn_row * static_cast<double>(seq_len + 1);
+  res.ffn_energy = ff1.energy + ff2.energy;
+
+  // Digital vector unit: 2 layernorms (5 ops/elem) + GELU (4 ops/elem) over
+  // L x d_model, plus GELU over L x d_ff, at ~0.5 pJ/op (32 nm datapath).
+  const double vec_ops =
+      static_cast<double>(seq_len) *
+      (static_cast<double>(bert.d_model) * (2.0 * 5.0 + 4.0) +
+       static_cast<double>(bert.d_ff) * 4.0);
+  res.vector_unit_energy = Energy::pJ(0.5 * vec_ops);
+
+  res.latency = res.attention.latency + res.ffn_latency;
+  res.energy = res.attention.energy + res.ffn_energy + res.vector_unit_energy;
+  res.attention_time_share = res.attention.latency / res.latency;
+
+  // Power: attention-phase power plus the FFN tiles' share. The FFN tiles
+  // are part of the same provisioned chip, so static power carries over;
+  // only the dynamic component changes between phases.
+  const auto counts = nn::attention_op_counts(bert, seq_len);
+  const double ffn_ops = 2.0 * nn::ffn_macs(bert, seq_len);
+  const Power p_static = res.attention.power - res.attention.energy / res.attention.latency;
+  res.power = res.energy / res.latency + p_static +
+              // FFN tiles (1152 for BERT-base) add their own static share.
+              overheads_.static_per_tile *
+                  static_cast<double>((ff1.tiles + ff2.tiles) *
+                                      (overheads_.provision_all_layers ? bert.layers : 1));
+
+  res.report.engine_name = "STAR (full encoder layer)";
+  res.report.total_ops = counts.total_ops() + ffn_ops + vec_ops;
+  res.report.latency = res.latency;
+  res.report.energy = res.energy;
+  res.report.avg_power = res.power;
+  return res;
+}
+
+}  // namespace star::core

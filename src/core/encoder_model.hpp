@@ -1,0 +1,45 @@
+// Full encoder-layer extension study (E10).
+//
+// The paper evaluates the attention block; a downstream user runs whole
+// encoder layers. This model appends the position-wise FFN (two static
+// matmuls on the same crossbar substrate) and the digital vector unit
+// (layernorm + GELU) to the attention pipeline and reports layer-level
+// latency / energy / GOPs/s/W — showing how the attention-side gains dilute
+// (Amdahl) once the FFN's matmul-heavy work joins.
+#pragma once
+
+#include "core/accelerator.hpp"
+#include "hw/report.hpp"
+#include "nn/bert.hpp"
+
+namespace star::core {
+
+struct EncoderRunResult {
+  hw::RunReport report;
+  Time latency{};
+  Energy energy{};
+  Power power{};
+  AttentionRunResult attention;   ///< the attention sub-block's record
+  Time ffn_latency{};
+  Energy ffn_energy{};
+  Energy vector_unit_energy{};    ///< layernorm + GELU digital work
+  double attention_time_share = 0.0;
+};
+
+class EncoderModel {
+ public:
+  EncoderModel(const StarConfig& cfg, SystemOverheads overheads = {});
+
+  /// One full encoder layer (attention + FFN + norms) at `seq_len`.
+  [[nodiscard]] EncoderRunResult run_encoder_layer(const nn::BertConfig& bert,
+                                                   std::int64_t seq_len) const;
+
+  [[nodiscard]] const StarAccelerator& accelerator() const { return accel_; }
+
+ private:
+  StarConfig cfg_;
+  SystemOverheads overheads_;
+  StarAccelerator accel_;
+};
+
+}  // namespace star::core

@@ -1,0 +1,75 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace star::core {
+
+std::vector<sim::Stage> StageTimes::stages() const {
+  return {sim::Stage{"proj", proj_row}, sim::Stage{"score", score_row},
+          sim::Stage{"softmax", softmax_row}, sim::Stage{"context", context_row},
+          sim::Stage{"outproj", outproj_row}};
+}
+
+Time StageTimes::max_stage() const {
+  Time peak{};
+  for (const auto& s : stages()) {
+    peak = std::max(peak, s.service);
+  }
+  return peak;
+}
+
+Time StageTimes::sum_stages() const {
+  Time total{};
+  for (const auto& s : stages()) {
+    total += s.service;
+  }
+  return total;
+}
+
+PipelineReport run_pipeline(const StageTimes& t, std::size_t rows,
+                            PipelineDiscipline discipline) {
+  require(rows >= 1, "run_pipeline: rows must be >= 1");
+  PipelineReport rep;
+
+  if (discipline == PipelineDiscipline::kVectorGrained) {
+    const auto res = sim::simulate(t.stages(), rows, sim::Discipline::kItemGranular);
+    rep.makespan = res.makespan;
+    rep.softmax_stage_util = res.stage_util[2];
+    rep.bottleneck_util = res.bottleneck_util();
+    return rep;
+  }
+
+  // Operand-grained: the matmul stages remain row-pipelined among
+  // themselves (prior accelerators pipeline their crossbar stages across
+  // rows, heads and layers), but the softmax block is a serial barrier: it
+  // consumes the complete score matrix and releases the complete
+  // probability matrix, so its full drain time adds to the makespan.
+  const std::vector<sim::Stage> mm{sim::Stage{"proj", t.proj_row},
+                                   sim::Stage{"score", t.score_row},
+                                   sim::Stage{"context", t.context_row},
+                                   sim::Stage{"outproj", t.outproj_row}};
+  const auto mm_res = sim::simulate(mm, rows, sim::Discipline::kItemGranular);
+  const Time softmax_block = t.softmax_row * static_cast<double>(rows);
+  rep.makespan = mm_res.makespan + softmax_block;
+  rep.softmax_stage_util = softmax_block / rep.makespan;
+  rep.bottleneck_util = mm_res.bottleneck_util();
+  return rep;
+}
+
+double analytic_speedup(const StageTimes& t, std::size_t rows) {
+  require(rows >= 1, "analytic_speedup: rows must be >= 1");
+  const double n = static_cast<double>(rows);
+  const double vector_t =
+      t.sum_stages().as_s() + (n - 1.0) * t.max_stage().as_s();
+  const double mm_sum = t.proj_row.as_s() + t.score_row.as_s() +
+                        t.context_row.as_s() + t.outproj_row.as_s();
+  const double mm_max =
+      std::max(std::max(t.proj_row.as_s(), t.score_row.as_s()),
+               std::max(t.context_row.as_s(), t.outproj_row.as_s()));
+  const double operand_t = mm_sum + (n - 1.0) * mm_max + n * t.softmax_row.as_s();
+  return operand_t / vector_t;
+}
+
+}  // namespace star::core

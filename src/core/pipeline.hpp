@@ -1,0 +1,62 @@
+// The attention pipeline model (paper §II end: "vector-grained pipeline").
+//
+// An attention layer is a five-stage row pipeline:
+//   projection -> score (QK^T) -> softmax -> context (PV) -> output proj.
+//
+// STAR runs it at *vector* (row) granularity: row i enters softmax while
+// row i+1 is still being produced. Prior accelerators run the softmax at
+// *operand* granularity: softmax starts only after the full score matrix
+// exists, and the context matmul only after the full probability matrix
+// exists — two barriers around the softmax stage.
+//
+// This header turns per-row stage service times into layer makespans under
+// the two disciplines, reusing the generic simulator in src/sim and the
+// closed forms it validates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/pipeline_sim.hpp"
+#include "util/units.hpp"
+
+namespace star::core {
+
+/// Per-row service time of each attention stage.
+struct StageTimes {
+  Time proj_row{};      ///< one activation row through Wq/Wk/Wv (parallel tiles)
+  Time score_row{};     ///< one query row against K^T
+  Time softmax_row{};   ///< one score row through the softmax unit(s)
+  Time context_row{};   ///< one probability row against V
+  Time outproj_row{};   ///< one context row through Wo
+
+  [[nodiscard]] std::vector<sim::Stage> stages() const;
+  [[nodiscard]] Time max_stage() const;
+  [[nodiscard]] Time sum_stages() const;
+};
+
+enum class PipelineDiscipline {
+  kVectorGrained,   ///< STAR: full row-granular overlap across all stages
+  kOperandGrained,  ///< prior work: barriers around the softmax stage
+};
+
+struct PipelineReport {
+  Time makespan{};
+  double softmax_stage_util = 0.0;  ///< busy fraction of the softmax stage
+  double bottleneck_util = 0.0;
+};
+
+/// Makespan of `rows` rows through the five stages under `discipline`.
+/// kVectorGrained: item-granular simulation over all five stages.
+/// kOperandGrained: matmul stages stay row-pipelined (prior accelerators
+/// pipeline their crossbar stages), but the softmax block is a barrier:
+///   T = vector(proj, score, context, outproj) + rows * softmax_row.
+PipelineReport run_pipeline(const StageTimes& t, std::size_t rows,
+                            PipelineDiscipline discipline);
+
+/// Closed-form speedup of vector- over operand-grained for identical
+/// service times (used by property tests; exact in the constant-service
+/// case).
+double analytic_speedup(const StageTimes& t, std::size_t rows);
+
+}  // namespace star::core

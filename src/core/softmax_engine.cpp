@@ -1,0 +1,283 @@
+#include "core/softmax_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hw/adc.hpp"
+#include "hw/dac.hpp"
+#include "hw/gates.hpp"
+#include "hw/shift_add.hpp"
+#include "util/math.hpp"
+#include "util/status.hpp"
+#include "workload/accuracy_proxy.hpp"
+
+namespace star::core {
+
+namespace {
+
+/// The engine's probability output precision (divider fraction bits).
+constexpr int kProbFracBits = 15;
+
+int exp_rows_for(const fxp::QFormat& fmt) {
+  // Half the code space suffices: exponentials of larger magnitudes
+  // underflow the LUT word (see file header). Matches the paper's
+  // 512-row CAM/SUB vs 256-row CAM/LUT/VMM geometry.
+  return 1 << (fmt.total_bits() - 1);
+}
+
+}  // namespace
+
+SoftmaxEngine::SoftmaxEngine(const StarConfig& cfg)
+    : cfg_(cfg),
+      fmt_(cfg.softmax_format),
+      lut_frac_bits_(workload::default_lut_frac_bits(cfg.softmax_format)),
+      prob_frac_bits_(kProbFracBits),
+      cam_sub_(cfg.tech, cfg.device, cfg.softmax_format.total_bits()),
+      exp_cam_(cfg.tech, cfg.device, exp_rows_for(cfg.softmax_format),
+               cfg.softmax_format.total_bits()),
+      exp_lut_(cfg.tech, cfg.device, exp_rows_for(cfg.softmax_format),
+               lut_frac_bits_ + 1),
+      counters_(cfg.tech, exp_rows_for(cfg.softmax_format),
+                bits_for(static_cast<std::uint64_t>(cfg.max_seq_len))),
+      divider_(cfg.tech,
+               std::min(31, lut_frac_bits_ + 1 +
+                                bits_for(static_cast<std::uint64_t>(cfg.max_seq_len))),
+               /*cost_bits=*/9),  // normalised 8-bit division + guard bit
+      in_buf_(cfg.tech,
+              static_cast<double>(cfg.max_seq_len) * cfg.softmax_format.total_bits() /
+                  8.0),
+      out_buf_(cfg.tech, static_cast<double>(cfg.max_seq_len) * 2.0) {
+  cfg_.validate();
+  // Phase sequencer + address generation for the four crossbar phases.
+  control_ = hw::GateLibrary(cfg_.tech).block(3000.0);
+
+  // Preload the exponent tables: row r holds the magnitude code r in the
+  // CAM and round(e^(-r * res) * 2^m) in the LUT (paper Fig. 2's
+  // WL_i = round(e^(x_i) * 2^m) * 2^(-m) construction).
+  const double res = fmt_.resolution();
+  const double scale = std::ldexp(1.0, lut_frac_bits_);
+  std::vector<std::int64_t> cam_codes(static_cast<std::size_t>(exp_cam_.rows()));
+  std::vector<std::int64_t> lut_words(cam_codes.size());
+  for (std::size_t r = 0; r < cam_codes.size(); ++r) {
+    cam_codes[r] = static_cast<std::int64_t>(r);
+    lut_words[r] = static_cast<std::int64_t>(
+        round_half_even(std::exp(-static_cast<double>(r) * res) * scale));
+  }
+  exp_cam_.fill(cam_codes);
+  exp_lut_.fill(lut_words);
+
+  // Summation crossbar periphery: the VMM stores the same table as the LUT;
+  // its input is the counter histogram applied bit-serially.
+  const hw::SarAdc sum_adc(cfg_.tech, 8);
+  const hw::RowDriver sum_driver(cfg_.tech, 1);
+  const hw::ShiftAdd sum_shift_add(
+      cfg_.tech, std::min(47, lut_frac_bits_ + 1 + counters_.bits() +
+                                  bits_for(static_cast<std::uint64_t>(exp_cam_.rows()))));
+  const double rows = exp_cam_.rows();
+  const double cells = rows * (lut_frac_bits_ + 1);
+  sum_area_ = cfg_.device.cell_area(cfg_.tech.feature_nm) * cells +
+              sum_adc.cost().area + sum_shift_add.cost().area +
+              sum_driver.cost().area * rows;
+  sum_leakage_ = sum_adc.cost().leakage + sum_shift_add.cost().leakage +
+                 sum_driver.cost().leakage * rows;
+  const double count_bits = counters_.bits();
+  sum_op_cost_.energy_per_op =
+      (sum_driver.cost().energy_per_op * (0.25 * rows) +
+       cfg_.device.read_energy(cfg_.device.g_on_us * 0.5) * (0.25 * cells) +
+       sum_adc.cost().energy_per_op + sum_shift_add.cost().energy_per_op) *
+      count_bits;
+  sum_op_cost_.latency =
+      (cfg_.device.read_pulse + sum_adc.cost().latency) * count_bits;
+  sum_op_cost_.area = sum_area_;
+  sum_op_cost_.leakage = sum_leakage_;
+}
+
+std::vector<std::int64_t> SoftmaxEngine::forward_codes(
+    std::span<const std::int64_t> codes) {
+  require(!codes.empty(), "SoftmaxEngine::forward_codes: empty row");
+  const std::int64_t code_max_allowed = (std::int64_t{1} << fmt_.total_bits()) - 1;
+  for (const auto c : codes) {
+    require(c >= 0 && c <= code_max_allowed,
+            "SoftmaxEngine::forward_codes: code out of operand range");
+  }
+
+  // Stage 1: CAM/SUB — max find, then subtraction (Fig. 1).
+  const xbar::MaxFindResult mf = cam_sub_.find_max(codes, cfg_.cam_miss_prob);
+  const std::vector<std::int64_t> diffs = cam_sub_.subtract_all(mf, codes);
+
+  // Stage 2: exponential via CAM search + LUT read, counters accumulate the
+  // match histogram (Fig. 2).
+  counters_.reset();
+  std::vector<std::int64_t> e_words(codes.size(), 0);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    const std::int64_t mag = -diffs[i];
+    if (mag < exp_cam_.rows()) {
+      const auto match = exp_cam_.search(mag, cfg_.cam_miss_prob);
+      e_words[i] = exp_lut_.read(match);
+      counters_.accumulate(match);
+    }
+    // else: no matchline rises; e_word stays 0 and the counters hold.
+  }
+
+  // Stage 3: summation VMM (counter histogram . stored table).
+  const std::int64_t denom = summation_vmm(counters_.counts());
+
+  // Stage 4: division.
+  std::vector<std::int64_t> probs(codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    probs[i] = divider_.divide(e_words[i], denom, prob_frac_bits_);
+  }
+
+  charge_row(static_cast<int>(codes.size()));
+  return probs;
+}
+
+std::vector<double> SoftmaxEngine::operator()(std::span<const double> x) {
+  require(!x.empty(), "SoftmaxEngine: empty row");
+
+  // Input conditioning: scores arrive as biased-signed fixed point —
+  // code = round(x / res) + 2^(b-1), clamped into the window. Values below
+  // the window floor are exactly the ones whose exponential underflows.
+  const double res = fmt_.resolution();
+  const std::int64_t bias = std::int64_t{1} << (fmt_.total_bits() - 1);
+  const std::int64_t top = (std::int64_t{1} << fmt_.total_bits()) - 1;
+  std::vector<std::int64_t> codes(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto c = static_cast<std::int64_t>(round_half_even(x[i] / res)) + bias;
+    codes[i] = std::clamp<std::int64_t>(c, 0, top);
+  }
+
+  const auto prob_codes = forward_codes(codes);
+  std::vector<double> p(x.size());
+  const double inv = std::ldexp(1.0, -prob_frac_bits_);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    p[i] = static_cast<double>(prob_codes[i]) * inv;
+  }
+  return p;
+}
+
+std::int64_t SoftmaxEngine::summation_vmm(std::span<const std::int64_t> counts) const {
+  STAR_ASSERT(static_cast<int>(counts.size()) == exp_lut_.rows(),
+              "summation_vmm: histogram size mismatch");
+  // Digital-equivalent of the analog dot product: the VMM crossbar stores
+  // exactly the LUT table and the counts stream in bit-serially.
+  std::int64_t acc = 0;
+  for (std::size_t r = 0; r < counts.size(); ++r) {
+    acc += counts[r] * exp_lut_.word_at(static_cast<int>(r));
+  }
+  return acc;
+}
+
+void SoftmaxEngine::charge_row(int d) {
+  SoftmaxRowStats s;
+  s.elements = d;
+  s.t_maxfind = cam_sub_.maxfind_latency(d);
+  s.e_maxfind = cam_sub_.maxfind_energy(d);
+  s.t_subtract = cam_sub_.subtract_latency(d);
+  s.e_subtract = cam_sub_.subtract_energy(d);
+  // Exp phase: CAM search and LUT read are pipelined; the LUT read pulse is
+  // the stage bottleneck. Counter toggles ride along.
+  const Time exp_stage =
+      std::max(exp_cam_.search_cost().latency, exp_lut_.read_cost().latency);
+  s.t_exp = exp_stage * static_cast<double>(d) + exp_cam_.search_cost().latency;
+  s.e_exp = (exp_cam_.search_cost().energy_per_op + exp_lut_.read_cost().energy_per_op +
+             counters_.unit_cost().energy_per_op) *
+            static_cast<double>(d);
+  s.t_sum = sum_op_cost_.latency;
+  s.e_sum = sum_op_cost_.energy_per_op;
+  // Pipelined divider: initiation interval one cycle, depth `bits` cycles.
+  s.t_divide = cfg_.tech.clock_period() * static_cast<double>(d) + divider_.cost().latency;
+  s.e_divide = divider_.cost().energy_per_op * static_cast<double>(d);
+
+  // Row staging traffic (8-bit-class operands pack several per SRAM word).
+  const Energy e_buffers =
+      (in_buf_.cost().energy_per_op + out_buf_.cost().energy_per_op) *
+      (static_cast<double>(d) / 4.0);
+
+  s.latency = s.t_maxfind + s.t_subtract + s.t_exp + s.t_sum + s.t_divide;
+  s.energy = s.e_maxfind + s.e_subtract + s.e_exp + s.e_sum + s.e_divide + e_buffers;
+  last_stats_ = s;
+}
+
+Area SoftmaxEngine::area() const {
+  return cam_sub_.area() + exp_cam_.area() + exp_lut_.area() + sum_area_ +
+         counters_.array_cost().area + divider_.cost().area +
+         in_buf_.cost().area + out_buf_.cost().area + control_.area;
+}
+
+Power SoftmaxEngine::leakage() const {
+  return cam_sub_.leakage() + exp_cam_.search_cost().leakage +
+         exp_lut_.read_cost().leakage + sum_leakage_ +
+         counters_.array_cost().leakage + divider_.cost().leakage +
+         in_buf_.cost().leakage + out_buf_.cost().leakage + control_.leakage;
+}
+
+Time SoftmaxEngine::row_latency(int d) const {
+  require(d >= 1, "SoftmaxEngine::row_latency: d must be >= 1");
+  SoftmaxEngine& self = const_cast<SoftmaxEngine&>(*this);
+  SoftmaxRowStats saved = last_stats_;
+  self.charge_row(d);
+  const Time t = last_stats_.latency;
+  self.last_stats_ = saved;
+  return t;
+}
+
+Energy SoftmaxEngine::row_energy(int d) const {
+  require(d >= 1, "SoftmaxEngine::row_energy: d must be >= 1");
+  SoftmaxEngine& self = const_cast<SoftmaxEngine&>(*this);
+  SoftmaxRowStats saved = last_stats_;
+  self.charge_row(d);
+  const Energy e = last_stats_.energy;
+  self.last_stats_ = saved;
+  return e;
+}
+
+Power SoftmaxEngine::active_power(int d) const {
+  const Time t = row_latency(d);
+  return row_energy(d) / t + leakage();
+}
+
+Energy SoftmaxEngine::preload_energy() const {
+  return cam_sub_.program_energy() + exp_cam_.program_energy() +
+         exp_lut_.program_energy() * 2.0;  // LUT + identical summation table
+}
+
+hw::CostSheet SoftmaxEngine::cost_sheet(int d) const {
+  hw::CostSheet sheet;
+  sheet.add("CAM/SUB crossbar " + std::to_string(cam_sub_.rows()) + "x" +
+                std::to_string(cam_sub_.physical_cols()),
+            hw::Cost{cam_sub_.area(), cam_sub_.maxfind_energy(d) +
+                                          cam_sub_.subtract_energy(d),
+                     Time{}, cam_sub_.leakage()});
+  sheet.add("CAM crossbar " + std::to_string(exp_cam_.rows()) + "x" +
+                std::to_string(exp_cam_.physical_cols()),
+            hw::Cost{exp_cam_.area(),
+                     exp_cam_.search_cost().energy_per_op * static_cast<double>(d),
+                     Time{}, exp_cam_.search_cost().leakage});
+  sheet.add("LUT crossbar " + std::to_string(exp_lut_.rows()) + "x" +
+                std::to_string(exp_lut_.word_bits()),
+            hw::Cost{exp_lut_.area(),
+                     exp_lut_.read_cost().energy_per_op * static_cast<double>(d),
+                     Time{}, exp_lut_.read_cost().leakage});
+  sheet.add("summation VMM crossbar",
+            hw::Cost{sum_area_, sum_op_cost_.energy_per_op, Time{}, sum_leakage_});
+  sheet.add("counter array",
+            hw::Cost{counters_.array_cost().area,
+                     counters_.unit_cost().energy_per_op * static_cast<double>(d),
+                     Time{}, counters_.array_cost().leakage});
+  sheet.add("divider",
+            hw::Cost{divider_.cost().area,
+                     divider_.cost().energy_per_op * static_cast<double>(d), Time{},
+                     divider_.cost().leakage});
+  sheet.add("row buffers + sequencer",
+            hw::Cost{in_buf_.cost().area + out_buf_.cost().area + control_.area,
+                     (in_buf_.cost().energy_per_op + out_buf_.cost().energy_per_op) *
+                         (static_cast<double>(d) / 4.0),
+                     Time{},
+                     in_buf_.cost().leakage + out_buf_.cost().leakage +
+                         control_.leakage});
+  sheet.set_latency(row_latency(d));
+  return sheet;
+}
+
+}  // namespace star::core

@@ -1,0 +1,109 @@
+// The STAR RRAM-crossbar softmax engine (paper §II, Figs. 1 and 2).
+//
+// Datapath per score row x_1..x_d:
+//
+//   CAM/SUB crossbar (2^b x 2b)   max find + subtraction   -> |x_i - x_max|
+//   CAM crossbar     (2^(b-1) x 2b) magnitude search        -> one-hot row
+//   LUT crossbar     (2^(b-1) x w)  e^-mag word readout     -> e_i
+//   Counter array                  match histogram          -> counts[r]
+//   Summation crossbar             counts . table           -> sum e_j
+//   Divider                        e_i / sum                -> p_i
+//
+// Magnitudes beyond the exp CAM's row range produce *no* match: the LUT
+// bitlines stay discharged (e_i = 0) and the counters do not advance —
+// exactly the right semantics, because those exponentials underflow the
+// LUT word anyway. This is why 2^(b-1) rows suffice for b-bit operands
+// (the paper's 256x18 for 9-bit data).
+//
+// The engine is bit-exact (under an ideal device) with the pure-math oracle
+// workload::quantized_softmax; tests enforce the equivalence.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "hw/component.hpp"
+#include "hw/counter.hpp"
+#include "hw/divider.hpp"
+#include "hw/sram.hpp"
+#include "nn/softmax_ref.hpp"
+#include "xbar/cam.hpp"
+#include "xbar/cam_sub.hpp"
+#include "xbar/lut.hpp"
+
+namespace star::core {
+
+/// Per-row execution record (costs of the last processed row).
+struct SoftmaxRowStats {
+  int elements = 0;
+  Time latency{};
+  Energy energy{};
+  // Stage split, for the pipeline model and ablations.
+  Time t_maxfind{}, t_subtract{}, t_exp{}, t_sum{}, t_divide{};
+  Energy e_maxfind{}, e_subtract{}, e_exp{}, e_sum{}, e_divide{};
+};
+
+class SoftmaxEngine final : public nn::RowSoftmax {
+ public:
+  explicit SoftmaxEngine(const StarConfig& cfg);
+
+  // --- functional interface (nn::RowSoftmax) ---
+  /// Softmax of a real-valued row, computed through the full quantised
+  /// crossbar datapath. Also updates row_stats().
+  [[nodiscard]] std::vector<double> operator()(std::span<const double> x) override;
+  [[nodiscard]] const char* name() const override { return "star-crossbar"; }
+
+  /// Datapath on pre-quantised magnitudes is exposed for white-box tests:
+  /// given operand codes (unsigned, < 2^b), returns probability codes with
+  /// `prob_frac_bits()` fraction bits.
+  [[nodiscard]] std::vector<std::int64_t> forward_codes(
+      std::span<const std::int64_t> codes);
+
+  // --- formats ---
+  [[nodiscard]] const fxp::QFormat& format() const { return fmt_; }
+  [[nodiscard]] int lut_frac_bits() const { return lut_frac_bits_; }
+  [[nodiscard]] int prob_frac_bits() const { return prob_frac_bits_; }
+  [[nodiscard]] int exp_rows() const { return exp_cam_.rows(); }
+
+  // --- cost model ---
+  [[nodiscard]] Area area() const;
+  [[nodiscard]] Power leakage() const;
+  /// Average power while streaming rows of length d back-to-back.
+  [[nodiscard]] Power active_power(int d) const;
+  [[nodiscard]] Time row_latency(int d) const;
+  [[nodiscard]] Energy row_energy(int d) const;
+  [[nodiscard]] const SoftmaxRowStats& row_stats() const { return last_stats_; }
+  /// One-time table preload cost (CAM/SUB codes, exp table, sum table).
+  [[nodiscard]] Energy preload_energy() const;
+  [[nodiscard]] hw::CostSheet cost_sheet(int d) const;
+
+ private:
+  [[nodiscard]] std::int64_t summation_vmm(std::span<const std::int64_t> counts) const;
+  void charge_row(int d);
+
+  StarConfig cfg_;
+  fxp::QFormat fmt_;
+  int lut_frac_bits_;
+  int prob_frac_bits_;
+
+  xbar::CamSubCrossbar cam_sub_;
+  xbar::CamCrossbar exp_cam_;
+  xbar::LutCrossbar exp_lut_;
+  hw::CounterArray counters_;
+  hw::Divider divider_;
+  // Summation crossbar periphery (the VMM stores the same table as the LUT).
+  hw::Cost sum_op_cost_;
+  Area sum_area_{};
+  Power sum_leakage_{};
+  // Row staging buffers and the phase sequencer.
+  hw::Sram in_buf_;
+  hw::Sram out_buf_;
+  hw::Cost control_;
+
+  SoftmaxRowStats last_stats_;
+};
+
+}  // namespace star::core

@@ -1,0 +1,63 @@
+// A value type pairing an integer code with its QFormat.
+//
+// The softmax engine's functional model works on Fixed values so every
+// arithmetic step states its format explicitly — exactly how the RTL/crossbar
+// datapath behaves — while tests can always recover the real value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fxp/qformat.hpp"
+
+namespace star::fxp {
+
+/// Fixed-point value = (code, format). Arithmetic keeps the format explicit:
+/// operations are only defined between identical formats (callers convert
+/// with `cast`), mirroring hardware where a format change is a real circuit.
+class Fixed {
+ public:
+  Fixed() = default;
+
+  /// Quantise a real value into `fmt`.
+  static Fixed from_real(double v, const QFormat& fmt,
+                         Rounding r = Rounding::kNearestEven,
+                         Overflow o = Overflow::kSaturate);
+
+  /// Adopt a raw code (asserts the code is in range for `fmt`).
+  static Fixed from_code(std::int64_t code, const QFormat& fmt);
+
+  [[nodiscard]] double real() const { return fmt_.from_code(code_); }
+  [[nodiscard]] std::int64_t code() const { return code_; }
+  [[nodiscard]] const QFormat& format() const { return fmt_; }
+
+  /// Re-quantise into another format.
+  [[nodiscard]] Fixed cast(const QFormat& to, Rounding r = Rounding::kNearestEven,
+                           Overflow o = Overflow::kSaturate) const;
+
+  /// Saturating add/sub in the common format of both operands
+  /// (throws InvalidArgument if formats differ).
+  friend Fixed operator+(const Fixed& a, const Fixed& b);
+  friend Fixed operator-(const Fixed& a, const Fixed& b);
+
+  friend bool operator==(const Fixed& a, const Fixed& b) = default;
+  friend auto operator<=>(const Fixed& a, const Fixed& b);
+
+ private:
+  Fixed(std::int64_t code, QFormat fmt) : code_(code), fmt_(fmt) {}
+  std::int64_t code_ = 0;
+  QFormat fmt_{};
+};
+
+/// Quantise a whole vector into `fmt`, returning real-valued entries that lie
+/// on the Q grid.
+std::vector<double> quantize_vector(const std::vector<double>& xs, const QFormat& fmt,
+                                    Rounding r = Rounding::kNearestEven,
+                                    Overflow o = Overflow::kSaturate);
+
+/// Integer codes for a whole vector.
+std::vector<std::int64_t> codes_for(const std::vector<double>& xs, const QFormat& fmt,
+                                    Rounding r = Rounding::kNearestEven,
+                                    Overflow o = Overflow::kSaturate);
+
+}  // namespace star::fxp

@@ -1,0 +1,89 @@
+// Q-format descriptions for the fixed-point datapaths.
+//
+// The paper describes softmax operand formats as "(6-bit integer, 2-bit
+// decimal)" etc.; QFormat captures exactly that: integer bits, fraction
+// bits, and signedness. STAR drops the sign bit of x_i - x_max (always
+// non-positive), so the engine formats are unsigned magnitudes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace star::fxp {
+
+/// Rounding behaviour when quantising a real value onto a Q grid.
+enum class Rounding {
+  kNearestEven,  ///< round half to even (default; unbiased)
+  kNearest,      ///< round half away from zero
+  kFloor,        ///< toward negative infinity (truncation for unsigned)
+};
+
+/// Overflow behaviour.
+enum class Overflow {
+  kSaturate,  ///< clamp to representable range (hardware default)
+  kThrow,     ///< raise SimulationError (for debugging range analyses)
+};
+
+/// A fixed-point format with `int_bits` integer bits, `frac_bits` fraction
+/// bits and an optional sign bit. Total width = int_bits + frac_bits
+/// (+1 when signed).
+struct QFormat {
+  int int_bits = 6;
+  int frac_bits = 2;
+  bool is_signed = false;
+
+  /// Validates 0 <= int_bits, 0 <= frac_bits, total width in [1, 31].
+  void validate() const;
+
+  [[nodiscard]] int total_bits() const {
+    return int_bits + frac_bits + (is_signed ? 1 : 0);
+  }
+
+  /// Value of one least-significant step: 2^-frac_bits.
+  [[nodiscard]] double resolution() const;
+
+  /// Smallest representable value (0 for unsigned, -2^int_bits for signed).
+  [[nodiscard]] double min_value() const;
+
+  /// Largest representable value: 2^int_bits - 2^-frac_bits.
+  [[nodiscard]] double max_value() const;
+
+  /// Number of representable codes: 2^total_bits.
+  [[nodiscard]] std::int64_t code_count() const;
+
+  /// Map a real value to its integer code (applying rounding/overflow).
+  [[nodiscard]] std::int64_t to_code(double v, Rounding r = Rounding::kNearestEven,
+                                     Overflow o = Overflow::kSaturate) const;
+
+  /// Map an integer code back to the real value it represents.
+  [[nodiscard]] double from_code(std::int64_t code) const;
+
+  /// Quantise: to_code followed by from_code.
+  [[nodiscard]] double quantize(double v, Rounding r = Rounding::kNearestEven,
+                                Overflow o = Overflow::kSaturate) const;
+
+  /// True if v is exactly representable.
+  [[nodiscard]] bool representable(double v) const;
+
+  /// "Q6.2u" / "Q5.3s" style name.
+  [[nodiscard]] std::string name() const;
+
+  friend bool operator==(const QFormat&, const QFormat&) = default;
+};
+
+/// Unsigned magnitude format, e.g. the paper's CNEWS operand format.
+constexpr QFormat make_unsigned(int int_bits, int frac_bits) {
+  return QFormat{int_bits, frac_bits, false};
+}
+
+/// Signed format.
+constexpr QFormat make_signed(int int_bits, int frac_bits) {
+  return QFormat{int_bits, frac_bits, true};
+}
+
+/// The three operand formats the paper derives in Section II.
+inline constexpr QFormat kCnewsFormat = make_unsigned(6, 2);  // 8 bits
+inline constexpr QFormat kMrpcFormat = make_unsigned(6, 3);   // 9 bits
+inline constexpr QFormat kColaFormat = make_unsigned(5, 2);   // 7 bits
+
+}  // namespace star::fxp

@@ -1,0 +1,75 @@
+#include "fxp/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.hpp"
+#include "util/status.hpp"
+
+namespace star::fxp {
+
+QuantError measure_quant_error(std::span<const double> xs, const QFormat& fmt,
+                               Rounding r) {
+  fmt.validate();
+  QuantError err;
+  if (xs.empty()) {
+    return err;
+  }
+  double sq_acc = 0.0;
+  std::size_t saturated = 0;
+  for (double x : xs) {
+    const double q = fmt.quantize(x, r, Overflow::kSaturate);
+    const double d = std::fabs(x - q);
+    err.max_abs = std::max(err.max_abs, d);
+    sq_acc += d * d;
+    if (x < fmt.min_value() || x > fmt.max_value()) {
+      ++saturated;
+    }
+  }
+  err.rmse = std::sqrt(sq_acc / static_cast<double>(xs.size()));
+  err.sat_frac = static_cast<double>(saturated) / static_cast<double>(xs.size());
+  return err;
+}
+
+int required_int_bits(std::span<const double> xs) {
+  double peak = 0.0;
+  for (double x : xs) {
+    peak = std::max(peak, std::fabs(x));
+  }
+  int bits = 0;
+  while (std::ldexp(1.0, bits) <= peak) {
+    ++bits;
+  }
+  // `bits` now satisfies 2^bits > peak, i.e. peak fits below the format's
+  // max_value + resolution.
+  return bits;
+}
+
+double symmetric_scale(std::span<const double> xs, int bits) {
+  require(bits >= 2 && bits <= 31, "symmetric_scale: bits must be in [2, 31]");
+  double peak = 0.0;
+  for (double x : xs) {
+    peak = std::max(peak, std::fabs(x));
+  }
+  if (peak == 0.0) {
+    return 1.0;
+  }
+  const double qmax = std::ldexp(1.0, bits - 1) - 1.0;
+  return qmax / peak;
+}
+
+std::vector<std::int64_t> quantize_symmetric(std::span<const double> xs, int bits,
+                                             double scale) {
+  require(bits >= 2 && bits <= 31, "quantize_symmetric: bits must be in [2, 31]");
+  require(scale > 0.0, "quantize_symmetric: scale must be positive");
+  const std::int64_t qmax = (std::int64_t{1} << (bits - 1)) - 1;
+  const std::int64_t qmin = -qmax;  // symmetric: drop the most negative code
+  std::vector<std::int64_t> out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double scaled = round_half_even(xs[i] * scale);
+    out[i] = std::clamp(static_cast<std::int64_t>(scaled), qmin, qmax);
+  }
+  return out;
+}
+
+}  // namespace star::fxp

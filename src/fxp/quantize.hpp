@@ -1,0 +1,35 @@
+// Vector quantisation utilities and error metrics for the bitwidth study.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fxp/qformat.hpp"
+
+namespace star::fxp {
+
+/// Summary of the error introduced by quantising a vector.
+struct QuantError {
+  double max_abs = 0.0;   ///< worst-case |x - q(x)|
+  double rmse = 0.0;      ///< root mean squared error
+  double sat_frac = 0.0;  ///< fraction of elements that saturated
+};
+
+/// Quantise `xs` into `fmt` and measure the error.
+QuantError measure_quant_error(std::span<const double> xs, const QFormat& fmt,
+                               Rounding r = Rounding::kNearestEven);
+
+/// Smallest number of integer bits such that |v| <= max_value for all v
+/// (for unsigned formats; negative inputs count via magnitude).
+int required_int_bits(std::span<const double> xs);
+
+/// Uniform symmetric quantisation of a real matrix/vector into `bits`-bit
+/// signed integers with the given scale; returns integer values in
+/// [-2^(bits-1), 2^(bits-1)-1]. Used by the MatMul engine input/weight paths.
+std::vector<std::int64_t> quantize_symmetric(std::span<const double> xs, int bits,
+                                             double scale);
+
+/// The scale that maps max|x| onto the largest representable code.
+double symmetric_scale(std::span<const double> xs, int bits);
+
+}  // namespace star::fxp

@@ -1,0 +1,38 @@
+#include "hw/adc.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+#include "util/status.hpp"
+
+namespace star::hw {
+
+SarAdc::SarAdc(const TechNode& tech, int bits, double sample_rate_ghz) : bits_(bits) {
+  require(bits >= 1 && bits <= 12, "SarAdc: bits must be in [1, 12]");
+  require(sample_rate_ghz > 0.0, "SarAdc: sample rate must be positive");
+
+  // Capacitive DAC: 2^bits unit caps; comparator + SAR logic linear in bits.
+  const double unit_cap_um2 = 0.9;
+  const double cdac_um2 = std::ldexp(1.0, bits) * unit_cap_um2;
+  const double logic_um2 = 90.0 + 55.0 * bits;
+  cost_.area = Area::um2(cdac_um2 + logic_um2);
+
+  // Energy: CDAC switching dominates (~2^bits * C * V^2) plus comparator
+  // energy per bit-cycle.
+  const double v2 = tech.vdd * tech.vdd;
+  const double cdac_fj = std::ldexp(1.0, bits) * 1.8 * v2;
+  const double comp_fj = 38.0 * bits * v2;
+  cost_.energy_per_op = Energy::fJ(cdac_fj + comp_fj);
+
+  cost_.latency = Time::ns(static_cast<double>(bits) / sample_rate_ghz);
+  cost_.leakage = Power::nW(25.0 + 6.0 * bits);
+}
+
+long SarAdc::quantize(double value, double full_scale) const {
+  STAR_ASSERT(full_scale > 0.0, "SarAdc::quantize: full_scale must be positive");
+  const long levels = (1L << bits_) - 1;
+  const double normalized = clamp(value / full_scale, 0.0, 1.0);
+  return static_cast<long>(round_half_even(normalized * static_cast<double>(levels)));
+}
+
+}  // namespace star::hw

@@ -1,0 +1,32 @@
+// SAR ADC model for crossbar column readout.
+//
+// Area/energy follow the standard SAR decomposition: a binary-weighted
+// capacitive DAC (grows ~2^bits), a comparator and SAR logic (~linear in
+// bits). One conversion takes `bits` comparison cycles. Values are
+// representative of 32 nm designs at ~1 GS/s.
+#pragma once
+
+#include "hw/component.hpp"
+#include "hw/tech.hpp"
+
+namespace star::hw {
+
+class SarAdc {
+ public:
+  /// `bits`: resolution (paper uses 5-bit for the MatMul engine).
+  /// `sample_rate_ghz`: conversion clock.
+  SarAdc(const TechNode& tech, int bits, double sample_rate_ghz = 1.0);
+
+  [[nodiscard]] int bits() const { return bits_; }
+  [[nodiscard]] Cost cost() const { return cost_; }
+
+  /// Digital output for an analog input in [0, full_scale]: mid-rise
+  /// uniform quantisation to `bits` bits. Used by the functional crossbar.
+  [[nodiscard]] long quantize(double value, double full_scale) const;
+
+ private:
+  int bits_;
+  Cost cost_;
+};
+
+}  // namespace star::hw

@@ -1,0 +1,65 @@
+#include "hw/component.hpp"
+
+#include <algorithm>
+
+#include "util/table.hpp"
+
+namespace star::hw {
+
+Cost Cost::parallel_with(const Cost& o) const {
+  return Cost{area + o.area, energy_per_op + o.energy_per_op,
+              std::max(latency, o.latency), leakage + o.leakage};
+}
+
+Cost Cost::series_with(const Cost& o) const {
+  return Cost{area + o.area, energy_per_op + o.energy_per_op, latency + o.latency,
+              leakage + o.leakage};
+}
+
+void CostSheet::add(std::string name, const Cost& unit, double count,
+                    double ops_per_invocation) {
+  items_.push_back(CostItem{std::move(name), unit, count, ops_per_invocation});
+}
+
+Area CostSheet::total_area() const {
+  Area a{};
+  for (const auto& it : items_) {
+    a += it.total_area();
+  }
+  return a;
+}
+
+Energy CostSheet::total_energy() const {
+  Energy e{};
+  for (const auto& it : items_) {
+    e += it.total_energy();
+  }
+  return e;
+}
+
+Power CostSheet::total_leakage() const {
+  Power p{};
+  for (const auto& it : items_) {
+    p += it.total_leakage();
+  }
+  return p;
+}
+
+Power CostSheet::active_power() const {
+  if (latency_.as_s() <= 0.0) {
+    return total_leakage();
+  }
+  return total_energy() / latency_ + total_leakage();
+}
+
+std::string CostSheet::breakdown() const {
+  TablePrinter tp({"component", "count", "unit area", "total area", "energy/op"});
+  for (const auto& it : items_) {
+    tp.add_row({it.name, TablePrinter::num(it.count, 0), to_string(it.unit.area),
+                to_string(it.total_area()), to_string(it.total_energy())});
+  }
+  tp.add_row({"TOTAL", "", "", to_string(total_area()), to_string(total_energy())});
+  return tp.str();
+}
+
+}  // namespace star::hw

@@ -1,0 +1,70 @@
+// Cost accounting primitives: every modelled circuit reports a Cost
+// (area, per-op dynamic energy, per-op latency, leakage power), and a
+// CostSheet aggregates named component instances into engine totals.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace star::hw {
+
+/// The four cost dimensions every component reports.
+struct Cost {
+  Area area{};
+  Energy energy_per_op{};
+  Time latency{};
+  Power leakage{};
+
+  /// Component-wise sum; latency combines as max (parallel composition).
+  [[nodiscard]] Cost parallel_with(const Cost& o) const;
+
+  /// Sum with latencies added (serial composition).
+  [[nodiscard]] Cost series_with(const Cost& o) const;
+};
+
+/// One named line item in an engine's bill of materials.
+struct CostItem {
+  std::string name;
+  Cost unit;
+  double count = 1.0;          ///< number of instances
+  double ops_per_invocation = 1.0;  ///< operations each instance performs per engine op
+
+  [[nodiscard]] Area total_area() const { return unit.area * count; }
+  [[nodiscard]] Energy total_energy() const {
+    return unit.energy_per_op * count * ops_per_invocation;
+  }
+  [[nodiscard]] Power total_leakage() const { return unit.leakage * count; }
+};
+
+/// Aggregates CostItems into totals and a printable breakdown.
+/// Latency is *not* summed from items (it depends on scheduling); engines
+/// compute their own latency and record it with set_latency().
+class CostSheet {
+ public:
+  void add(std::string name, const Cost& unit, double count = 1.0,
+           double ops_per_invocation = 1.0);
+
+  void set_latency(Time t) { latency_ = t; }
+
+  [[nodiscard]] Area total_area() const;
+  [[nodiscard]] Energy total_energy() const;  ///< dynamic energy per engine op
+  [[nodiscard]] Power total_leakage() const;
+  [[nodiscard]] Time latency() const { return latency_; }
+
+  /// Average power when the engine runs back-to-back operations:
+  /// dynamic energy / latency + leakage.
+  [[nodiscard]] Power active_power() const;
+
+  [[nodiscard]] const std::vector<CostItem>& items() const { return items_; }
+
+  /// Aligned breakdown (component, count, area, energy share).
+  [[nodiscard]] std::string breakdown() const;
+
+ private:
+  std::vector<CostItem> items_;
+  Time latency_{};
+};
+
+}  // namespace star::hw

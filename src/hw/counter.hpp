@@ -1,0 +1,46 @@
+// Match counter array (paper Fig. 2): one counter per CAM row accumulates
+// how many inputs matched that row; the resulting histogram becomes the
+// input vector of the summation VMM crossbar.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/component.hpp"
+#include "hw/tech.hpp"
+
+namespace star::hw {
+
+class CounterArray {
+ public:
+  /// `rows` counters of `bits` bits each (bits must cover the maximum
+  /// sequence length: e.g. 10 bits for 1024 inputs).
+  CounterArray(const TechNode& tech, int rows, int bits);
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int bits() const { return bits_; }
+
+  /// Unit cost of one counter; the array cost is unit * rows.
+  [[nodiscard]] Cost unit_cost() const { return unit_; }
+  [[nodiscard]] Cost array_cost() const;
+
+  // --- functional model ---
+
+  /// Reset all counters to zero.
+  void reset();
+
+  /// Accumulate a one-hot match vector (at most one bit set; saturates at
+  /// 2^bits - 1 like the physical counter).
+  void accumulate(const std::vector<bool>& one_hot);
+
+  /// Current histogram.
+  [[nodiscard]] const std::vector<std::int64_t>& counts() const { return counts_; }
+
+ private:
+  int rows_;
+  int bits_;
+  Cost unit_;
+  std::vector<std::int64_t> counts_;
+};
+
+}  // namespace star::hw

@@ -1,0 +1,29 @@
+#include "hw/dac.hpp"
+
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace star::hw {
+
+RowDriver::RowDriver(const TechNode& tech, int bits, double wire_load_ff) : bits_(bits) {
+  require(bits >= 1 && bits <= 8, "RowDriver: bits must be in [1, 8]");
+  require(wire_load_ff >= 0.0, "RowDriver: wire load must be non-negative");
+
+  const double v2 = tech.vdd * tech.vdd;
+  if (bits == 1) {
+    // Inverter chain sized to drive the wordline.
+    cost_.area = Area::um2(1.4);
+    cost_.energy_per_op = Energy::fJ(wire_load_ff * v2);  // C*V^2 on the WL
+    cost_.latency = Time::ps(120.0);
+    cost_.leakage = Power::nW(2.0);
+  } else {
+    const double levels = std::ldexp(1.0, bits);
+    cost_.area = Area::um2(1.4 + 0.8 * levels);
+    cost_.energy_per_op = Energy::fJ((wire_load_ff + 0.6 * levels) * v2);
+    cost_.latency = Time::ps(120.0 + 30.0 * bits);
+    cost_.leakage = Power::nW(2.0 + 0.8 * levels);
+  }
+}
+
+}  // namespace star::hw

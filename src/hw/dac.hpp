@@ -1,0 +1,27 @@
+// Wordline driver / input DAC model.
+//
+// STAR (like ReTransformer) streams inputs bit-serially, so the per-row
+// input circuit is a 1-bit level driver rather than a multi-bit DAC; a
+// multi-bit variant is provided for sensitivity studies.
+#pragma once
+
+#include "hw/component.hpp"
+#include "hw/tech.hpp"
+
+namespace star::hw {
+
+class RowDriver {
+ public:
+  /// `bits` = 1 models the bit-serial driver; >1 models a multi-level DAC
+  /// (area/energy grow with 2^bits like the ADC's CDAC).
+  RowDriver(const TechNode& tech, int bits = 1, double wire_load_ff = 20.0);
+
+  [[nodiscard]] int bits() const { return bits_; }
+  [[nodiscard]] Cost cost() const { return cost_; }
+
+ private:
+  int bits_;
+  Cost cost_;
+};
+
+}  // namespace star::hw

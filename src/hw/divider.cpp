@@ -1,0 +1,33 @@
+#include "hw/divider.hpp"
+
+#include "hw/gates.hpp"
+#include "util/status.hpp"
+
+namespace star::hw {
+
+Divider::Divider(const TechNode& tech, int bits, int cost_bits) : bits_(bits) {
+  require(bits >= 2 && bits <= 32, "Divider: bits must be in [2, 32]");
+  const int physical = cost_bits > 0 ? cost_bits : bits;
+  require(physical >= 2 && physical <= 32, "Divider: cost_bits must be in [2, 32]");
+  const GateLibrary lib(tech);
+  cost_ = lib.divider(physical);
+  if (physical != bits) {
+    // Normalising front-end: leading-one detector + barrel shifters.
+    cost_ = cost_.parallel_with(lib.block(ge::kLodPerBit * bits +
+                                          ge::kMux2PerBit * 2.0 * bits));
+  }
+}
+
+std::int64_t Divider::divide(std::int64_t num, std::int64_t den, int frac_out_bits) const {
+  require(frac_out_bits >= 0 && frac_out_bits <= 32,
+          "Divider::divide: frac_out_bits must be in [0, 32]");
+  require(num >= 0 && den >= 0, "Divider::divide: unsigned datapath only");
+  const std::int64_t sat = (std::int64_t{1} << bits_) - 1;
+  if (den == 0) {
+    return sat;
+  }
+  const std::int64_t q = (num << frac_out_bits) / den;
+  return q > sat ? sat : q;
+}
+
+}  // namespace star::hw

@@ -1,0 +1,36 @@
+// Fixed-point divider: the final stage of every softmax implementation in
+// this repo (e^(xi-xmax) / sum). Functional semantics + cost.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/component.hpp"
+#include "hw/tech.hpp"
+
+namespace star::hw {
+
+class Divider {
+ public:
+  /// `bits`: functional operand width; latency = bits cycles (non-restoring).
+  /// `cost_bits`: physical datapath width for the cost model; defaults to
+  /// `bits`. STAR's divider normalises the denominator with a leading-one
+  /// detector and divides at the output precision, so its physical array is
+  /// much narrower than the functional operand range.
+  Divider(const TechNode& tech, int bits, int cost_bits = -1);
+
+  [[nodiscard]] int bits() const { return bits_; }
+  [[nodiscard]] Cost cost() const { return cost_; }
+
+  /// Functional model: floor((num << frac_out_bits) / den); returns the
+  /// quotient as a fixed-point code with `frac_out_bits` fraction bits.
+  /// den == 0 saturates to the maximum representable code (hardware
+  /// behaviour of the saturating divider).
+  [[nodiscard]] std::int64_t divide(std::int64_t num, std::int64_t den,
+                                    int frac_out_bits) const;
+
+ private:
+  int bits_;
+  Cost cost_;
+};
+
+}  // namespace star::hw

@@ -1,0 +1,76 @@
+#include "hw/gates.hpp"
+
+#include "util/status.hpp"
+
+namespace star::hw {
+
+Cost GateLibrary::block(double ge_count, double cycles) const {
+  STAR_ASSERT(ge_count >= 0.0, "GateLibrary::block: negative GE count");
+  return Cost{tech_.ge_area(ge_count), tech_.ge_energy(ge_count),
+              tech_.clock_period() * cycles, tech_.ge_leakage(ge_count)};
+}
+
+Cost GateLibrary::adder(int bits) const {
+  require(bits >= 1, "adder: bits must be >= 1");
+  return block(ge::kFullAdderPerBit * bits);
+}
+
+Cost GateLibrary::reg(int bits) const {
+  require(bits >= 1, "reg: bits must be >= 1");
+  return block(ge::kRegisterPerBit * bits);
+}
+
+Cost GateLibrary::mux2(int bits) const {
+  require(bits >= 1, "mux2: bits must be >= 1");
+  return block(ge::kMux2PerBit * bits);
+}
+
+Cost GateLibrary::comparator(int bits) const {
+  require(bits >= 1, "comparator: bits must be >= 1");
+  return block(ge::kComparatorPerBit * bits);
+}
+
+Cost GateLibrary::counter(int bits) const {
+  require(bits >= 1, "counter: bits must be >= 1");
+  return block(ge::kCounterPerBit * bits);
+}
+
+Cost GateLibrary::or_tree(int inputs) const {
+  require(inputs >= 1, "or_tree: inputs must be >= 1");
+  return block(ge::kOrTreePerInput * inputs);
+}
+
+Cost GateLibrary::priority_encoder(int inputs) const {
+  require(inputs >= 1, "priority_encoder: inputs must be >= 1");
+  return block(ge::kPriorityEncPerInput * inputs);
+}
+
+Cost GateLibrary::multiplier(int n_bits, int m_bits) const {
+  require(n_bits >= 1 && m_bits >= 1, "multiplier: bits must be >= 1");
+  return block(ge::kArrayMultPerBit2 * n_bits * m_bits);
+}
+
+Cost GateLibrary::divider(int bits) const {
+  require(bits >= 1, "divider: bits must be >= 1");
+  Cost c = block(ge::kNonRestoringDivPerBit2 * bits * bits, static_cast<double>(bits));
+  // Dividers switch nearly every gate every cycle for `bits` cycles; the
+  // GE-activity model underestimates that, so the energy is set from
+  // synthesis-class numbers (~14 fJ per bit^2 at 32 nm).
+  c.energy_per_op = Energy::fJ(14.0 * bits * bits);
+  return c;
+}
+
+Cost GateLibrary::exp_unit(int bits) const {
+  require(bits >= 1, "exp_unit: bits must be >= 1");
+  // The polynomial datapath scales mildly with operand width around the
+  // 16-bit reference GE count.
+  const double scale = static_cast<double>(bits) / 16.0;
+  Cost c = block(ge::kFpExpUnitGe * (0.5 + 0.5 * scale), 4.0);
+  // Range reduction + polynomial evaluation keeps the multiplier array hot
+  // for several cycles: synthesis-class energy for a 24-bit exp datapath is
+  // ~40 pJ/op, scaling with width.
+  c.energy_per_op = Energy::pJ(40.0 * (0.3 + 0.7 * static_cast<double>(bits) / 24.0));
+  return c;
+}
+
+}  // namespace star::hw

@@ -1,0 +1,77 @@
+// Gate-equivalent building blocks for digital datapaths.
+//
+// All digital components (adders, registers, comparators, multipliers,
+// LZ-detectors, muxes) are expressed in NAND2 gate equivalents (GE), the
+// standard synthesis-independent sizing currency. GE counts below are
+// textbook values for static CMOS implementations.
+#pragma once
+
+#include "hw/component.hpp"
+#include "hw/tech.hpp"
+
+namespace star::hw {
+
+/// GE counts per bit / per structure used by the datapath models.
+namespace ge {
+inline constexpr double kFullAdderPerBit = 6.0;       // mirror adder + carry
+inline constexpr double kRegisterPerBit = 5.5;        // DFF with scan overhead
+inline constexpr double kMux2PerBit = 2.5;
+inline constexpr double kComparatorPerBit = 4.5;
+inline constexpr double kXorPerBit = 2.0;
+inline constexpr double kCounterPerBit = 9.0;         // T-FF + carry chain
+inline constexpr double kOrTreePerInput = 1.3;        // OR merge network
+inline constexpr double kPriorityEncPerInput = 2.8;   // first-one detector
+inline constexpr double kArrayMultPerBit2 = 6.5;      // n*m partial products
+inline constexpr double kNonRestoringDivPerBit2 = 8.0;
+inline constexpr double kFpExpUnitGe = 9200.0;  // FP/fixed e^x datapath (range red. + poly)
+inline constexpr double kLodPerBit = 3.0;             // leading-one detect
+}  // namespace ge
+
+/// Datapath generators: each returns the Cost of the named structure at the
+/// given tech node. Latency assumes single-cycle operation at the node clock
+/// unless stated otherwise.
+class GateLibrary {
+ public:
+  explicit GateLibrary(const TechNode& tech) : tech_(tech) {}
+
+  [[nodiscard]] const TechNode& tech() const { return tech_; }
+
+  /// n-bit ripple-carry adder (single cycle for n <= 32 at 1 GHz).
+  [[nodiscard]] Cost adder(int bits) const;
+
+  /// n-bit register (DFF bank).
+  [[nodiscard]] Cost reg(int bits) const;
+
+  /// n-bit 2:1 mux.
+  [[nodiscard]] Cost mux2(int bits) const;
+
+  /// n-bit magnitude comparator.
+  [[nodiscard]] Cost comparator(int bits) const;
+
+  /// n-bit synchronous up-counter.
+  [[nodiscard]] Cost counter(int bits) const;
+
+  /// OR-merge tree over `inputs` single-bit lines.
+  [[nodiscard]] Cost or_tree(int inputs) const;
+
+  /// Priority encoder over `inputs` lines (first-'1' index).
+  [[nodiscard]] Cost priority_encoder(int inputs) const;
+
+  /// n x m array multiplier.
+  [[nodiscard]] Cost multiplier(int n_bits, int m_bits) const;
+
+  /// n-bit non-restoring divider; latency = n cycles.
+  [[nodiscard]] Cost divider(int bits) const;
+
+  /// Fixed/FP exponential function unit (range reduction + polynomial),
+  /// as used by the baseline CMOS softmax; latency ~ 4 cycles pipelined.
+  [[nodiscard]] Cost exp_unit(int bits) const;
+
+  /// Generic block of `ge_count` gate equivalents with `cycles` latency.
+  [[nodiscard]] Cost block(double ge_count, double cycles = 1.0) const;
+
+ private:
+  TechNode tech_;
+};
+
+}  // namespace star::hw

@@ -1,0 +1,62 @@
+#include "hw/interconnect.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+#include "util/status.hpp"
+
+namespace star::hw {
+
+namespace {
+// Representative 32 nm global-wire figures.
+constexpr double kWireCapFfPerUm = 0.20;
+constexpr double kWireDelayPsPerUm = 0.50;   // repeated wire
+constexpr double kRepeaterGePerMm = 220.0;
+constexpr double kWirePitchUm = 0.40;        // routed track pitch
+}  // namespace
+
+HTree::HTree(const TechNode& tech, int tiles, int bus_bits, double tile_pitch_um)
+    : tech_(tech), tiles_(tiles), bus_bits_(bus_bits), tile_pitch_um_(tile_pitch_um) {
+  require(tiles >= 1, "HTree: tiles must be >= 1");
+  require(bus_bits >= 1 && bus_bits <= 1024, "HTree: bus_bits in [1, 1024]");
+  require(tile_pitch_um > 0.0, "HTree: tile pitch must be positive");
+
+  levels_ = bits_for(static_cast<std::uint64_t>(tiles));
+  // Level l (from the root) spans half the remaining extent; total root-to-
+  // leaf wire is ~2x the array half-width, and the full tree replicates
+  // each level's segment across its branches.
+  const double extent_um = std::sqrt(static_cast<double>(tiles)) * tile_pitch_um;
+  double seg = extent_um / 2.0;
+  for (int l = 0; l < levels_; ++l) {
+    const double branches = std::ldexp(1.0, l);
+    total_wire_um_ += seg * branches;
+    seg /= 2.0;
+  }
+  total_wire_um_ *= bus_bits_;
+}
+
+Time HTree::traversal_latency() const {
+  const double extent_um = std::sqrt(static_cast<double>(tiles_)) * tile_pitch_um_;
+  return Time::ps(kWireDelayPsPerUm * extent_um) +
+         tech_.clock_period() * static_cast<double>(levels_);  // per-level register
+}
+
+Energy HTree::flit_energy() const {
+  const double extent_um = std::sqrt(static_cast<double>(tiles_)) * tile_pitch_um_;
+  const double v2 = tech_.vdd * tech_.vdd;
+  // Half the bus toggles on average over the root-to-leaf path.
+  return Energy::fJ(0.5 * bus_bits_ * extent_um * kWireCapFfPerUm * v2);
+}
+
+Area HTree::area() const {
+  const double wire_area_um2 = total_wire_um_ * kWirePitchUm;
+  const double repeater_ge = kRepeaterGePerMm * total_wire_um_ / 1000.0;
+  return Area::um2(wire_area_um2) + tech_.ge_area(repeater_ge);
+}
+
+Power HTree::leakage() const {
+  const double repeater_ge = kRepeaterGePerMm * total_wire_um_ / 1000.0;
+  return tech_.ge_leakage(repeater_ge);
+}
+
+}  // namespace star::hw

@@ -1,0 +1,36 @@
+// H-tree interconnect model: the on-chip network that carries partial sums
+// and activations between tiles. Backs the per-row system overhead the
+// accelerator models charge (DESIGN.md §4.3) with a structural estimate.
+#pragma once
+
+#include "hw/component.hpp"
+#include "hw/tech.hpp"
+
+namespace star::hw {
+
+class HTree {
+ public:
+  /// A balanced H-tree spanning `tiles` leaf tiles with `bus_bits`-wide
+  /// links; `tile_pitch_um` sets the wire lengths per level.
+  HTree(const TechNode& tech, int tiles, int bus_bits, double tile_pitch_um = 160.0);
+
+  [[nodiscard]] int levels() const { return levels_; }
+
+  /// Root-to-leaf traversal of one `bus_bits` flit.
+  [[nodiscard]] Time traversal_latency() const;
+  [[nodiscard]] Energy flit_energy() const;
+
+  /// Total wiring + repeater silicon.
+  [[nodiscard]] Area area() const;
+  [[nodiscard]] Power leakage() const;
+
+ private:
+  TechNode tech_;
+  int tiles_;
+  int bus_bits_;
+  double tile_pitch_um_;
+  int levels_;
+  double total_wire_um_ = 0.0;
+};
+
+}  // namespace star::hw

@@ -1,0 +1,14 @@
+#include "hw/sample_hold.hpp"
+
+namespace star::hw {
+
+SampleHold::SampleHold(const TechNode& tech) {
+  const double v2 = tech.vdd * tech.vdd;
+  // Switch + hold cap (~10 fF).
+  cost_.area = Area::um2(1.1);
+  cost_.energy_per_op = Energy::fJ(10.0 * v2);
+  cost_.latency = Time::ps(100.0);
+  cost_.leakage = Power::nW(0.5);
+}
+
+}  // namespace star::hw

@@ -1,0 +1,19 @@
+// Sample-and-hold for analog bitline outputs awaiting a shared ADC.
+#pragma once
+
+#include "hw/component.hpp"
+#include "hw/tech.hpp"
+
+namespace star::hw {
+
+class SampleHold {
+ public:
+  explicit SampleHold(const TechNode& tech);
+
+  [[nodiscard]] Cost cost() const { return cost_; }
+
+ private:
+  Cost cost_;
+};
+
+}  // namespace star::hw

@@ -1,0 +1,14 @@
+#include "hw/sense_amp.hpp"
+
+namespace star::hw {
+
+SenseAmp::SenseAmp(const TechNode& tech) {
+  const double v2 = tech.vdd * tech.vdd;
+  // Latch-type voltage sense amp: cross-coupled pair + precharge.
+  cost_.area = Area::um2(2.2);
+  cost_.energy_per_op = Energy::fJ(1.8 * v2);
+  cost_.latency = Time::ps(250.0);
+  cost_.leakage = Power::nW(3.0);
+}
+
+}  // namespace star::hw

@@ -1,0 +1,21 @@
+// Matchline / bitline sense amplifier, the digital readout used by the CAM
+// and LUT crossbars (a 1-bit decision, far cheaper than a multi-bit ADC —
+// the root of STAR's area advantage).
+#pragma once
+
+#include "hw/component.hpp"
+#include "hw/tech.hpp"
+
+namespace star::hw {
+
+class SenseAmp {
+ public:
+  explicit SenseAmp(const TechNode& tech);
+
+  [[nodiscard]] Cost cost() const { return cost_; }
+
+ private:
+  Cost cost_;
+};
+
+}  // namespace star::hw

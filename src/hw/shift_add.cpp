@@ -1,0 +1,25 @@
+#include "hw/shift_add.hpp"
+
+#include "util/status.hpp"
+
+namespace star::hw {
+
+ShiftAdd::ShiftAdd(const TechNode& tech, int acc_bits) : acc_bits_(acc_bits) {
+  require(acc_bits >= 1 && acc_bits <= 48, "ShiftAdd: acc_bits must be in [1, 48]");
+  const GateLibrary lib(tech);
+  // Adder + accumulator register + shifter mux.
+  cost_ = lib.adder(acc_bits)
+              .parallel_with(lib.reg(acc_bits))
+              .parallel_with(lib.mux2(acc_bits));
+  cost_.latency = tech.clock_period();
+}
+
+std::int64_t ShiftAdd::combine(const std::vector<std::int64_t>& partials) {
+  std::int64_t acc = 0;
+  for (std::size_t b = 0; b < partials.size(); ++b) {
+    acc += partials[b] << b;
+  }
+  return acc;
+}
+
+}  // namespace star::hw

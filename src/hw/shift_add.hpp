@@ -1,0 +1,31 @@
+// Shift-and-add accumulator: combines per-bit ADC outputs of a bit-serial
+// VMM into the final multi-bit dot product.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/component.hpp"
+#include "hw/gates.hpp"
+#include "hw/tech.hpp"
+
+namespace star::hw {
+
+class ShiftAdd {
+ public:
+  /// `acc_bits`: accumulator width (covers adc_bits + input_bits + log2(rows)).
+  ShiftAdd(const TechNode& tech, int acc_bits);
+
+  [[nodiscard]] int acc_bits() const { return acc_bits_; }
+  [[nodiscard]] Cost cost() const { return cost_; }
+
+  /// Functional model: given per-input-bit partial sums p_b (LSB first),
+  /// returns sum_b (p_b << b) — exactly what the circuit accumulates.
+  [[nodiscard]] static std::int64_t combine(const std::vector<std::int64_t>& partials);
+
+ private:
+  int acc_bits_;
+  Cost cost_;
+};
+
+}  // namespace star::hw

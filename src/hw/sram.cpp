@@ -1,0 +1,26 @@
+#include "hw/sram.hpp"
+
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace star::hw {
+
+Sram::Sram(const TechNode& tech, double bytes, int word_bits) : bytes_(bytes) {
+  require(bytes > 0.0, "Sram: capacity must be positive");
+  require(word_bits >= 8 && word_bits <= 512, "Sram: word width must be in [8, 512]");
+
+  const double bits = bytes * 8.0;
+  // Cell array + ~35% periphery (decoders, sense amps, IO).
+  cost_.area = tech.sram_cell_area(bits) * 1.35;
+
+  // Access energy grows weakly with capacity (longer lines): reference
+  // ~0.18 pJ per 64-bit word for a 4 KiB macro at 32 nm.
+  const double cap_factor = std::sqrt(std::max(bytes, 64.0) / 4096.0);
+  const double per_word_pj = 0.18 * (word_bits / 64.0) * (0.5 + 0.5 * cap_factor);
+  cost_.energy_per_op = Energy::pJ(per_word_pj);
+  cost_.latency = tech.clock_period();
+  cost_.leakage = Power::nW(0.012 * bits);
+}
+
+}  // namespace star::hw

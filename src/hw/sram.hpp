@@ -1,0 +1,23 @@
+// SRAM buffer model (input/output staging of engines, baseline softmax
+// operand buffers).
+#pragma once
+
+#include "hw/component.hpp"
+#include "hw/tech.hpp"
+
+namespace star::hw {
+
+class Sram {
+ public:
+  /// `bytes`: capacity; `word_bits`: access width.
+  Sram(const TechNode& tech, double bytes, int word_bits = 64);
+
+  [[nodiscard]] double bytes() const { return bytes_; }
+  [[nodiscard]] Cost cost() const { return cost_; }  ///< per word access
+
+ private:
+  double bytes_;
+  Cost cost_;
+};
+
+}  // namespace star::hw

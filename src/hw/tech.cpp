@@ -1,0 +1,30 @@
+#include "hw/tech.hpp"
+
+namespace star::hw {
+
+namespace {
+
+/// Scale a 32 nm reference node to feature size `f_nm`: area ~ F^2,
+/// dynamic energy ~ C*V^2 ~ F * V^2, leakage roughly ~ F * V.
+TechNode scaled_from_32(double f_nm, double vdd, double clock_ghz) {
+  TechNode t = TechNode{};  // 32 nm defaults
+  const double s = f_nm / 32.0;
+  const double v = vdd / 0.9;
+  t.feature_nm = f_nm;
+  t.vdd = vdd;
+  t.clock_ghz = clock_ghz;
+  t.nand2_area_um2 *= s * s;
+  t.nand2_switch_fj *= s * v * v;
+  t.nand2_leak_nw *= s * v;
+  return t;
+}
+
+}  // namespace
+
+TechNode TechNode::n32() { return TechNode{}; }
+
+TechNode TechNode::n45() { return scaled_from_32(45.0, 1.0, 0.8); }
+
+TechNode TechNode::n65() { return scaled_from_32(65.0, 1.1, 0.5); }
+
+}  // namespace star::hw

@@ -1,0 +1,66 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace star::nn {
+
+Tensor attention_scores(const Tensor& q, const Tensor& k) {
+  require(q.cols() == k.cols(), "attention_scores: d_k mismatch between Q and K");
+  Tensor s = q.matmul(k.transposed());
+  s.scale(1.0 / std::sqrt(static_cast<double>(q.cols())));
+  return s;
+}
+
+Tensor scaled_dot_attention(const Tensor& q, const Tensor& k, const Tensor& v,
+                            RowSoftmax& softmax_impl) {
+  require(k.rows() == v.rows(), "scaled_dot_attention: K/V length mismatch");
+  const Tensor s = attention_scores(q, k);
+  Tensor p(s.rows(), s.cols());
+  for (std::size_t r = 0; r < s.rows(); ++r) {
+    const auto probs = softmax_impl(s.row(r));
+    STAR_ASSERT(probs.size() == s.cols(), "RowSoftmax returned wrong length");
+    std::copy(probs.begin(), probs.end(), p.row(r).begin());
+  }
+  return p.matmul(v);
+}
+
+MhaWeights MhaWeights::random(std::size_t heads, std::size_t d_model, std::size_t d_k,
+                              Rng& rng) {
+  require(heads >= 1 && d_model >= 1 && d_k >= 1, "MhaWeights::random: bad dims");
+  MhaWeights w;
+  // Xavier-style scale keeps score magnitudes realistic.
+  const double proj_std = 1.0 / std::sqrt(static_cast<double>(d_model));
+  for (std::size_t h = 0; h < heads; ++h) {
+    w.wq.push_back(Tensor::randn(d_model, d_k, rng, 0.0, proj_std));
+    w.wk.push_back(Tensor::randn(d_model, d_k, rng, 0.0, proj_std));
+    w.wv.push_back(Tensor::randn(d_model, d_k, rng, 0.0, proj_std));
+  }
+  w.wo = Tensor::randn(heads * d_k, d_model, rng, 0.0, proj_std);
+  return w;
+}
+
+Tensor multi_head_attention(const Tensor& x, const MhaWeights& w,
+                            RowSoftmax& softmax_impl) {
+  require(!w.wq.empty(), "multi_head_attention: no heads");
+  const std::size_t heads = w.wq.size();
+  const std::size_t d_k = w.wq[0].cols();
+  require(w.wo.rows() == heads * d_k, "multi_head_attention: Wo shape mismatch");
+
+  Tensor concat(x.rows(), heads * d_k);
+  for (std::size_t h = 0; h < heads; ++h) {
+    const Tensor q = x.matmul(w.wq[h]);
+    const Tensor k = x.matmul(w.wk[h]);
+    const Tensor v = x.matmul(w.wv[h]);
+    const Tensor head = scaled_dot_attention(q, k, v, softmax_impl);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      for (std::size_t c = 0; c < d_k; ++c) {
+        concat.at(r, h * d_k + c) = head.at(r, c);
+      }
+    }
+  }
+  return concat.matmul(w.wo);
+}
+
+}  // namespace star::nn

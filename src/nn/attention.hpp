@@ -1,0 +1,40 @@
+// Scaled dot-product and multi-head attention with a pluggable softmax.
+//
+// The softmax is injected as a RowSoftmax so the same attention code runs
+// bit-exactly on the reference, the STAR crossbar engine, Softermax and the
+// CMOS baseline — which is how the accuracy side of the paper's trade-off
+// is evaluated.
+#pragma once
+
+#include <vector>
+
+#include "nn/softmax_ref.hpp"
+#include "nn/tensor.hpp"
+
+namespace star::nn {
+
+/// softmax(Q K^T / sqrt(d_k)) V for one head.
+/// q: (L_q x d_k), k: (L_k x d_k), v: (L_k x d_v).
+Tensor scaled_dot_attention(const Tensor& q, const Tensor& k, const Tensor& v,
+                            RowSoftmax& softmax_impl);
+
+/// The raw score matrix Q K^T / sqrt(d_k) (exposed for the bitwidth study,
+/// which analyses score distributions before softmax).
+Tensor attention_scores(const Tensor& q, const Tensor& k);
+
+/// Weights of one multi-head attention block.
+struct MhaWeights {
+  std::vector<Tensor> wq;  ///< per head: (d_model x d_k)
+  std::vector<Tensor> wk;
+  std::vector<Tensor> wv;
+  Tensor wo;               ///< (heads * d_k x d_model)
+
+  static MhaWeights random(std::size_t heads, std::size_t d_model, std::size_t d_k,
+                           Rng& rng);
+};
+
+/// Full multi-head attention: x (L x d_model) -> (L x d_model).
+Tensor multi_head_attention(const Tensor& x, const MhaWeights& w,
+                            RowSoftmax& softmax_impl);
+
+}  // namespace star::nn

@@ -1,0 +1,34 @@
+#include "nn/opcount.hpp"
+
+#include "util/status.hpp"
+
+namespace star::nn {
+
+AttentionOpCounts attention_op_counts(const BertConfig& cfg, std::int64_t seq_len) {
+  cfg.validate();
+  require(seq_len >= 1, "attention_op_counts: seq_len must be >= 1");
+
+  const double l = static_cast<double>(seq_len);
+  const double d = static_cast<double>(cfg.d_model);
+  const double h = static_cast<double>(cfg.heads);
+  const double dk = static_cast<double>(cfg.d_head());
+
+  AttentionOpCounts c;
+  // Q, K, V projections plus the output projection: 4 matmuls (L x d)(d x d).
+  c.proj_macs = 4.0 * l * d * d;
+  // Per head: (L x dk)(dk x L) scores and (L x L)(L x dk) context.
+  c.score_macs = h * l * l * dk;
+  c.context_macs = h * l * l * dk;
+  // One softmax element per score entry per head.
+  c.softmax_elems = h * l * l;
+  return c;
+}
+
+double ffn_macs(const BertConfig& cfg, std::int64_t seq_len) {
+  cfg.validate();
+  require(seq_len >= 1, "ffn_macs: seq_len must be >= 1");
+  return 2.0 * static_cast<double>(seq_len) * static_cast<double>(cfg.d_model) *
+         static_cast<double>(cfg.d_ff);
+}
+
+}  // namespace star::nn

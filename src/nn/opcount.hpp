@@ -1,0 +1,42 @@
+// Analytic operation counts for the attention workload.
+//
+// Every engine model in Fig. 3 divides the same op count by its own
+// latency x power, so the count must be a single shared definition:
+// one multiply-accumulate = 2 ops (the GPU-literature convention), and
+// softmax is 5 ops per element (max-compare, subtract, exponential, sum-add,
+// divide), matching how "operations" are credited in the paper's
+// GOPs/s/W metric.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/bert.hpp"
+
+namespace star::nn {
+
+struct AttentionOpCounts {
+  double proj_macs = 0.0;     ///< Q/K/V/output projections
+  double score_macs = 0.0;    ///< Q K^T
+  double context_macs = 0.0;  ///< P V
+  double softmax_elems = 0.0; ///< score-matrix elements passed through softmax
+
+  static constexpr double kOpsPerMac = 2.0;
+  static constexpr double kOpsPerSoftmaxElem = 5.0;
+
+  [[nodiscard]] double matmul_ops() const {
+    return (proj_macs + score_macs + context_macs) * kOpsPerMac;
+  }
+  [[nodiscard]] double softmax_ops() const {
+    return softmax_elems * kOpsPerSoftmaxElem;
+  }
+  [[nodiscard]] double total_ops() const { return matmul_ops() + softmax_ops(); }
+};
+
+/// Op counts of one encoder layer's *attention block* (the paper's unit of
+/// comparison) for sequence length `seq_len`.
+AttentionOpCounts attention_op_counts(const BertConfig& cfg, std::int64_t seq_len);
+
+/// Op counts of the feed-forward block (used by full-layer studies).
+double ffn_macs(const BertConfig& cfg, std::int64_t seq_len);
+
+}  // namespace star::nn

@@ -1,0 +1,44 @@
+#include "nn/ops.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+#include "util/status.hpp"
+
+namespace star::nn {
+
+Tensor layer_norm(const Tensor& x, double eps) {
+  Tensor out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    const double m = mean(row);
+    const double sd = stddev(row);
+    const double inv = 1.0 / std::sqrt(sd * sd + eps);
+    auto orow = out.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      orow[c] = (row[c] - m) * inv;
+    }
+  }
+  return out;
+}
+
+double gelu(double x) { return 0.5 * x * (1.0 + std::erf(x / std::sqrt(2.0))); }
+
+Tensor gelu(const Tensor& x) {
+  return x.map([](double v) { return gelu(v); });
+}
+
+Tensor add_bias(const Tensor& x, std::span<const double> bias) {
+  require(bias.size() == x.cols(), "add_bias: bias length must equal cols");
+  Tensor out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    auto orow = out.row(r);
+    const auto irow = x.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      orow[c] = irow[c] + bias[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace star::nn

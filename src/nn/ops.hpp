@@ -1,0 +1,23 @@
+// Non-attention transformer operations (layer norm, GELU, bias add) used to
+// model a complete BERT encoder layer.
+#pragma once
+
+#include <span>
+
+#include "nn/tensor.hpp"
+
+namespace star::nn {
+
+/// Row-wise layer normalisation with learned gain/bias folded to 1/0.
+Tensor layer_norm(const Tensor& x, double eps = 1e-12);
+
+/// Exact GELU: x * Phi(x).
+double gelu(double x);
+
+/// Element-wise GELU.
+Tensor gelu(const Tensor& x);
+
+/// Adds a row vector bias to every row.
+Tensor add_bias(const Tensor& x, std::span<const double> bias);
+
+}  // namespace star::nn

@@ -1,0 +1,40 @@
+// Reference (exact, numerically stable) softmax — the ground truth every
+// hardware softmax in this repo is measured against.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace star::nn {
+
+/// Numerically stable softmax of one row: exp(x - max) / sum(exp(x - max)).
+std::vector<double> softmax(std::span<const double> x);
+
+/// Row-wise softmax of a matrix.
+Tensor softmax_rows(const Tensor& x);
+
+/// log(sum(exp(x))) computed stably (used by tests as an independent oracle:
+/// softmax(x)_i == exp(x_i - logsumexp(x))).
+double logsumexp(std::span<const double> x);
+
+/// Abstract row-softmax interface so attention can run on the reference,
+/// the STAR engine, Softermax or the CMOS baseline interchangeably.
+class RowSoftmax {
+ public:
+  virtual ~RowSoftmax() = default;
+  [[nodiscard]] virtual std::vector<double> operator()(std::span<const double> x) = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// The exact implementation of RowSoftmax.
+class ExactSoftmax final : public RowSoftmax {
+ public:
+  [[nodiscard]] std::vector<double> operator()(std::span<const double> x) override {
+    return softmax(x);
+  }
+  [[nodiscard]] const char* name() const override { return "exact"; }
+};
+
+}  // namespace star::nn

@@ -1,0 +1,65 @@
+// Minimal dense 2-D tensor for the attention substrate.
+//
+// Row-major double storage with the handful of operations transformer
+// inference needs: matmul, transpose, row views, scaling. Deliberately not
+// a general tensor library — shapes are always (rows, cols) and checked.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace star::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Build from nested initialiser data (row-major; all rows equal length).
+  static Tensor from_rows(const std::vector<std::vector<double>>& rows);
+
+  /// i.i.d. normal(mean, stddev) entries.
+  static Tensor randn(std::size_t rows, std::size_t cols, Rng& rng, double mean = 0.0,
+                      double stddev = 1.0);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] std::span<double> row(std::size_t r);
+  [[nodiscard]] std::span<const double> row(std::size_t r) const;
+
+  [[nodiscard]] std::span<const double> flat() const { return data_; }
+  [[nodiscard]] std::span<double> flat() { return data_; }
+
+  /// this (rows x k) * other (k x cols) -> (rows x cols).
+  [[nodiscard]] Tensor matmul(const Tensor& other) const;
+
+  [[nodiscard]] Tensor transposed() const;
+
+  /// Element-wise in-place scale.
+  Tensor& scale(double k);
+
+  /// Element-wise map (returns a new tensor).
+  [[nodiscard]] Tensor map(const std::function<double(double)>& f) const;
+
+  friend Tensor operator+(const Tensor& a, const Tensor& b);
+  friend Tensor operator-(const Tensor& a, const Tensor& b);
+
+  /// max |a - b| over all elements (shape-checked).
+  static double max_abs_diff(const Tensor& a, const Tensor& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace star::nn

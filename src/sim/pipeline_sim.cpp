@@ -1,0 +1,90 @@
+#include "sim/pipeline_sim.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace star::sim {
+
+double PipelineResult::bottleneck_util() const {
+  double peak = 0.0;
+  for (double u : stage_util) {
+    peak = std::max(peak, u);
+  }
+  return peak;
+}
+
+PipelineResult simulate(const std::vector<Stage>& stages, std::size_t items,
+                        Discipline discipline, const std::vector<double>& service_scale) {
+  require(!stages.empty(), "simulate: at least one stage required");
+  require(service_scale.empty() || service_scale.size() == items,
+          "simulate: service_scale must be empty or one entry per item");
+
+  const std::size_t k = stages.size();
+  PipelineResult res;
+  res.completion.assign(items, std::vector<double>(k, 0.0));
+  res.stage_busy_s.assign(k, 0.0);
+  res.stage_util.assign(k, 0.0);
+  if (items == 0) {
+    return res;
+  }
+
+  auto scale = [&](std::size_t i) {
+    return service_scale.empty() ? 1.0 : service_scale[i];
+  };
+
+  if (discipline == Discipline::kItemGranular) {
+    // finish(i, s) = max(finish(i, s-1), finish(i-1, s)) + service(s) * scale(i)
+    for (std::size_t i = 0; i < items; ++i) {
+      for (std::size_t s = 0; s < k; ++s) {
+        const double ready_item = (s == 0) ? 0.0 : res.completion[i][s - 1];
+        const double ready_stage = (i == 0) ? 0.0 : res.completion[i - 1][s];
+        const double t = stages[s].service.as_s() * scale(i);
+        res.completion[i][s] = std::max(ready_item, ready_stage) + t;
+        res.stage_busy_s[s] += t;
+      }
+    }
+  } else {
+    // Stage s starts only after every item finished stage s-1.
+    double stage_start = 0.0;
+    std::vector<double> stage_end(items, 0.0);
+    for (std::size_t s = 0; s < k; ++s) {
+      double t_cursor = stage_start;
+      for (std::size_t i = 0; i < items; ++i) {
+        const double t = stages[s].service.as_s() * scale(i);
+        t_cursor += t;
+        res.completion[i][s] = t_cursor;
+        res.stage_busy_s[s] += t;
+        stage_end[i] = t_cursor;
+      }
+      stage_start = t_cursor;  // barrier: next stage starts after the last item
+    }
+  }
+
+  res.makespan = Time::s(res.completion[items - 1][k - 1]);
+  const double span = res.makespan.as_s();
+  for (std::size_t s = 0; s < k; ++s) {
+    res.stage_util[s] = span > 0.0 ? res.stage_busy_s[s] / span : 0.0;
+  }
+  return res;
+}
+
+Time closed_form_makespan(const std::vector<Stage>& stages, std::size_t items,
+                          Discipline discipline) {
+  require(!stages.empty(), "closed_form_makespan: at least one stage required");
+  if (items == 0) {
+    return Time::s(0.0);
+  }
+  double sum = 0.0;
+  double peak = 0.0;
+  for (const auto& st : stages) {
+    sum += st.service.as_s();
+    peak = std::max(peak, st.service.as_s());
+  }
+  if (discipline == Discipline::kItemGranular) {
+    return Time::s(sum + static_cast<double>(items - 1) * peak);
+  }
+  return Time::s(static_cast<double>(items) * sum);
+}
+
+}  // namespace star::sim

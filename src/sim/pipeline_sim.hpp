@@ -1,0 +1,62 @@
+// Generic stage-pipeline simulator.
+//
+// Models a linear pipeline of K stages processing N work items (rows of the
+// attention score matrix, in STAR's case). Two disciplines:
+//
+//  * kItemGranular  — item i may enter stage s+1 as soon as *it* leaves
+//    stage s (STAR's "vector-grained" pipeline: a softmax row starts while
+//    the next score row is still being produced).
+//  * kBarrier       — stage s+1 starts only after *all* items finished
+//    stage s (the "operand-grained" behaviour of prior accelerators, where
+//    softmax waits for the whole score matrix).
+//
+// The simulator is a deterministic discrete-time recurrence (no event heap
+// needed for a linear pipeline) and also exposes the closed-form makespan
+// for constant service times, which the tests cross-check.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace star::sim {
+
+enum class Discipline {
+  kItemGranular,  ///< vector-grained (STAR)
+  kBarrier,       ///< operand-grained (prior work)
+};
+
+/// A pipeline stage: name + per-item service time. A stage processes one
+/// item at a time (service is not pipelined within the stage).
+struct Stage {
+  std::string name;
+  Time service{};
+};
+
+/// Per-item, per-stage completion times plus derived metrics.
+struct PipelineResult {
+  Time makespan{};
+  std::vector<double> stage_busy_s;   ///< total busy seconds per stage
+  std::vector<double> stage_util;     ///< busy / makespan
+  /// completion[i][s] = finish time (s) of item i in stage s.
+  std::vector<std::vector<double>> completion;
+
+  [[nodiscard]] double bottleneck_util() const;
+};
+
+/// Simulate `items` work items through `stages` under `discipline`.
+/// Item service times may be heterogeneous: service_scale[i] multiplies
+/// every stage's service time for item i (empty = all 1.0).
+PipelineResult simulate(const std::vector<Stage>& stages, std::size_t items,
+                        Discipline discipline,
+                        const std::vector<double>& service_scale = {});
+
+/// Closed-form makespan for constant service times:
+///  item-granular: sum(service) + (N-1) * max(service)
+///  barrier:       N * sum(service)
+Time closed_form_makespan(const std::vector<Stage>& stages, std::size_t items,
+                          Discipline discipline);
+
+}  // namespace star::sim

@@ -1,0 +1,51 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+namespace star {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+void CsvWriter::header(std::initializer_list<std::string> names) {
+  write_row(std::vector<std::string>(names));
+}
+
+void CsvWriter::row(std::initializer_list<std::string> cells) {
+  write_row(std::vector<std::string>(cells));
+}
+
+std::string CsvWriter::num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (!ok()) {
+    return;
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) {
+      out_ << ',';
+    }
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      quoted += '"';
+    }
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace star

@@ -1,0 +1,36 @@
+// Minimal CSV writer used by the benchmark harness to dump series that
+// regenerate the paper's figures (one file per figure, one row per point).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace star {
+
+/// Streams rows of comma-separated values with RFC-4180 style quoting.
+/// Writes to a file; silently becomes a no-op when the file cannot be
+/// opened (benches must still print to stdout in that case).
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+  explicit CsvWriter(const std::string& path);
+
+  /// True if the underlying file opened successfully.
+  [[nodiscard]] bool ok() const { return out_.is_open() && out_.good(); }
+
+  void header(std::initializer_list<std::string> names);
+  void row(std::initializer_list<std::string> cells);
+
+  /// Convenience: format doubles with enough precision to round-trip.
+  static std::string num(double v);
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+};
+
+}  // namespace star

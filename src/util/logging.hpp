@@ -1,0 +1,23 @@
+// Tiny leveled logger. Simulation libraries should be quiet by default;
+// verbosity is opt-in per process via set_log_level().
+#pragma once
+
+#include <string_view>
+
+namespace star {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default: kWarn.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-less logging: pre-format the message at the call site.
+void log(LogLevel level, std::string_view module_name, std::string_view message);
+
+inline void log_debug(std::string_view m, std::string_view msg) { log(LogLevel::kDebug, m, msg); }
+inline void log_info(std::string_view m, std::string_view msg) { log(LogLevel::kInfo, m, msg); }
+inline void log_warn(std::string_view m, std::string_view msg) { log(LogLevel::kWarn, m, msg); }
+inline void log_error(std::string_view m, std::string_view msg) { log(LogLevel::kError, m, msg); }
+
+}  // namespace star

@@ -1,0 +1,40 @@
+// Console table printer: the benchmark binaries print the same rows the
+// paper's tables/figures report, aligned for human comparison.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace star {
+
+/// Collects string cells and prints an aligned ASCII table:
+///
+///   +----------+-------+
+///   | design   | area  |
+///   +----------+-------+
+///   | baseline | 1.00x |
+///   +----------+-------+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the whole table.
+  [[nodiscard]] std::string str() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  /// Fixed-precision numeric cell helper.
+  static std::string num(double v, int precision = 2);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace star

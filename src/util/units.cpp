@@ -1,0 +1,63 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace star {
+
+namespace {
+
+struct Scale {
+  double factor;
+  const char* suffix;
+};
+
+std::string format_scaled(double base_value, const std::array<Scale, 6>& scales,
+                          const char* base_suffix) {
+  const double mag = std::fabs(base_value);
+  for (const auto& s : scales) {
+    if (mag >= s.factor || (&s == &scales.back())) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.4g %s", base_value / s.factor, s.suffix);
+      return buf;
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g %s", base_value, base_suffix);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(Area a) {
+  const double mm2 = a.as_mm2();
+  if (std::fabs(mm2) >= 1e-3) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4g mm^2", mm2);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g um^2", a.as_um2());
+  return buf;
+}
+
+std::string to_string(Time t) {
+  static constexpr std::array<Scale, 6> kScales{{
+      {1.0, "s"}, {1e-3, "ms"}, {1e-6, "us"}, {1e-9, "ns"}, {1e-12, "ps"}, {1e-15, "fs"}}};
+  return format_scaled(t.as_s(), kScales, "s");
+}
+
+std::string to_string(Energy e) {
+  static constexpr std::array<Scale, 6> kScales{{
+      {1.0, "J"}, {1e-3, "mJ"}, {1e-6, "uJ"}, {1e-9, "nJ"}, {1e-12, "pJ"}, {1e-15, "fJ"}}};
+  return format_scaled(e.as_J(), kScales, "J");
+}
+
+std::string to_string(Power p) {
+  static constexpr std::array<Scale, 6> kScales{{
+      {1.0, "W"}, {1e-3, "mW"}, {1e-6, "uW"}, {1e-9, "nW"}, {1e-12, "pW"}, {1e-15, "fW"}}};
+  return format_scaled(p.as_W(), kScales, "W");
+}
+
+}  // namespace star

@@ -1,0 +1,133 @@
+// Strongly-typed physical quantities used throughout the cost models.
+//
+// Area, energy, power and time mix freely in accelerator models and a silent
+// unit mistake (pJ vs nJ, mm^2 vs um^2) corrupts every downstream ratio.
+// Each quantity is a distinct value type storing SI base units internally
+// (m^2, J, W, s) with named constructors/accessors for the scales the
+// literature uses.
+#pragma once
+
+#include <string>
+
+namespace star {
+
+/// Silicon area. Stored in mm^2 (the unit accelerator papers report).
+class Area {
+ public:
+  constexpr Area() = default;
+  static constexpr Area mm2(double v) { return Area(v); }
+  static constexpr Area um2(double v) { return Area(v * 1e-6); }
+  [[nodiscard]] constexpr double as_mm2() const { return mm2_; }
+  [[nodiscard]] constexpr double as_um2() const { return mm2_ * 1e6; }
+
+  constexpr Area& operator+=(Area o) { mm2_ += o.mm2_; return *this; }
+  friend constexpr Area operator+(Area a, Area b) { return Area(a.mm2_ + b.mm2_); }
+  friend constexpr Area operator-(Area a, Area b) { return Area(a.mm2_ - b.mm2_); }
+  friend constexpr Area operator*(Area a, double k) { return Area(a.mm2_ * k); }
+  friend constexpr Area operator*(double k, Area a) { return Area(a.mm2_ * k); }
+  friend constexpr double operator/(Area a, Area b) { return a.mm2_ / b.mm2_; }
+  friend constexpr Area operator/(Area a, double k) { return Area(a.mm2_ / k); }
+  friend constexpr auto operator<=>(Area a, Area b) = default;
+
+ private:
+  explicit constexpr Area(double mm2v) : mm2_(mm2v) {}
+  double mm2_ = 0.0;
+};
+
+/// Time. Stored in seconds.
+class Time {
+ public:
+  constexpr Time() = default;
+  static constexpr Time s(double v) { return Time(v); }
+  static constexpr Time ms(double v) { return Time(v * 1e-3); }
+  static constexpr Time us(double v) { return Time(v * 1e-6); }
+  static constexpr Time ns(double v) { return Time(v * 1e-9); }
+  static constexpr Time ps(double v) { return Time(v * 1e-12); }
+  [[nodiscard]] constexpr double as_s() const { return s_; }
+  [[nodiscard]] constexpr double as_ms() const { return s_ * 1e3; }
+  [[nodiscard]] constexpr double as_us() const { return s_ * 1e6; }
+  [[nodiscard]] constexpr double as_ns() const { return s_ * 1e9; }
+
+  constexpr Time& operator+=(Time o) { s_ += o.s_; return *this; }
+  friend constexpr Time operator+(Time a, Time b) { return Time(a.s_ + b.s_); }
+  friend constexpr Time operator-(Time a, Time b) { return Time(a.s_ - b.s_); }
+  friend constexpr Time operator*(Time a, double k) { return Time(a.s_ * k); }
+  friend constexpr Time operator*(double k, Time a) { return Time(a.s_ * k); }
+  friend constexpr double operator/(Time a, Time b) { return a.s_ / b.s_; }
+  friend constexpr Time operator/(Time a, double k) { return Time(a.s_ / k); }
+  friend constexpr auto operator<=>(Time a, Time b) = default;
+
+ private:
+  explicit constexpr Time(double sv) : s_(sv) {}
+  double s_ = 0.0;
+};
+
+/// Energy. Stored in joules.
+class Energy {
+ public:
+  constexpr Energy() = default;
+  static constexpr Energy J(double v) { return Energy(v); }
+  static constexpr Energy mJ(double v) { return Energy(v * 1e-3); }
+  static constexpr Energy uJ(double v) { return Energy(v * 1e-6); }
+  static constexpr Energy nJ(double v) { return Energy(v * 1e-9); }
+  static constexpr Energy pJ(double v) { return Energy(v * 1e-12); }
+  static constexpr Energy fJ(double v) { return Energy(v * 1e-15); }
+  [[nodiscard]] constexpr double as_J() const { return j_; }
+  [[nodiscard]] constexpr double as_uJ() const { return j_ * 1e6; }
+  [[nodiscard]] constexpr double as_nJ() const { return j_ * 1e9; }
+  [[nodiscard]] constexpr double as_pJ() const { return j_ * 1e12; }
+  [[nodiscard]] constexpr double as_fJ() const { return j_ * 1e15; }
+
+  constexpr Energy& operator+=(Energy o) { j_ += o.j_; return *this; }
+  friend constexpr Energy operator+(Energy a, Energy b) { return Energy(a.j_ + b.j_); }
+  friend constexpr Energy operator-(Energy a, Energy b) { return Energy(a.j_ - b.j_); }
+  friend constexpr Energy operator*(Energy a, double k) { return Energy(a.j_ * k); }
+  friend constexpr Energy operator*(double k, Energy a) { return Energy(a.j_ * k); }
+  friend constexpr double operator/(Energy a, Energy b) { return a.j_ / b.j_; }
+  friend constexpr Energy operator/(Energy a, double k) { return Energy(a.j_ / k); }
+  friend constexpr auto operator<=>(Energy a, Energy b) = default;
+
+ private:
+  explicit constexpr Energy(double jv) : j_(jv) {}
+  double j_ = 0.0;
+};
+
+/// Power. Stored in watts.
+class Power {
+ public:
+  constexpr Power() = default;
+  static constexpr Power W(double v) { return Power(v); }
+  static constexpr Power mW(double v) { return Power(v * 1e-3); }
+  static constexpr Power uW(double v) { return Power(v * 1e-6); }
+  static constexpr Power nW(double v) { return Power(v * 1e-9); }
+  [[nodiscard]] constexpr double as_W() const { return w_; }
+  [[nodiscard]] constexpr double as_mW() const { return w_ * 1e3; }
+  [[nodiscard]] constexpr double as_uW() const { return w_ * 1e6; }
+
+  constexpr Power& operator+=(Power o) { w_ += o.w_; return *this; }
+  friend constexpr Power operator+(Power a, Power b) { return Power(a.w_ + b.w_); }
+  friend constexpr Power operator-(Power a, Power b) { return Power(a.w_ - b.w_); }
+  friend constexpr Power operator*(Power a, double k) { return Power(a.w_ * k); }
+  friend constexpr Power operator*(double k, Power a) { return Power(a.w_ * k); }
+  friend constexpr double operator/(Power a, Power b) { return a.w_ / b.w_; }
+  friend constexpr Power operator/(Power a, double k) { return Power(a.w_ / k); }
+  friend constexpr auto operator<=>(Power a, Power b) = default;
+
+ private:
+  explicit constexpr Power(double wv) : w_(wv) {}
+  double w_ = 0.0;
+};
+
+// Cross-quantity relations.
+constexpr Energy operator*(Power p, Time t) { return Energy::J(p.as_W() * t.as_s()); }
+constexpr Energy operator*(Time t, Power p) { return p * t; }
+constexpr Power operator/(Energy e, Time t) { return Power::W(e.as_J() / t.as_s()); }
+constexpr Time operator/(Energy e, Power p) { return Time::s(e.as_J() / p.as_W()); }
+
+/// Human-readable formatting with auto-selected scale, e.g. "3.21 pJ".
+std::string to_string(Area a);
+std::string to_string(Time t);
+std::string to_string(Energy e);
+std::string to_string(Power p);
+
+}  // namespace star

@@ -1,0 +1,90 @@
+#include "workload/dataset_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace star::workload {
+
+std::vector<double> DatasetProfile::sample_row(std::size_t len, Rng& rng) const {
+  require(len >= 2, "DatasetProfile::sample_row: row length must be >= 2");
+  std::vector<double> row(len);
+
+  // Shift-invariance: pick an arbitrary absolute level for x_max.
+  const double x_max = rng.uniform(-4.0, 4.0);
+
+  // Background population.
+  for (auto& v : row) {
+    double spread = std::fabs(rng.normal(bg_depth, bg_sigma));
+    spread = std::clamp(spread, 0.5, max_spread);
+    v = x_max - spread;
+  }
+
+  // Place the maximum and the contenders at random positions.
+  const std::size_t max_pos = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(len) - 1));
+  row[max_pos] = x_max;
+  const int n_cont = std::min<int>(contenders, static_cast<int>(len) - 1);
+  for (int c = 0; c < n_cont; ++c) {
+    std::size_t pos = max_pos;
+    while (pos == max_pos) {
+      pos = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(len) - 1));
+    }
+    double gap = std::fabs(rng.normal(gap_mean, gap_sigma));
+    gap = std::clamp(gap, 0.05, max_spread);
+    row[pos] = x_max - gap;
+  }
+  return row;
+}
+
+DatasetProfile DatasetProfile::cnews() {
+  DatasetProfile p;
+  p.name = "CNEWS";
+  p.bg_depth = 34.0;
+  p.bg_sigma = 7.0;
+  p.max_spread = 60.0;
+  p.contenders = 2;
+  p.gap_mean = 1.6;
+  p.gap_sigma = 0.7;
+  p.expected_int_bits = 6;
+  p.expected_frac_bits = 2;
+  return p;
+}
+
+DatasetProfile DatasetProfile::mrpc() {
+  DatasetProfile p;
+  p.name = "MRPC";
+  p.bg_depth = 30.0;
+  p.bg_sigma = 7.5;
+  p.max_spread = 58.0;
+  // Paraphrase matching: several tokens compete with the best match at
+  // sub-LSB gaps, so the softmax output is precision-sensitive: gaps sit
+  // between the Q*.3 resolution (0.125) and the Q*.2 rounding threshold,
+  // which is what pushes MRPC to 3 fraction bits.
+  p.contenders = 3;
+  p.gap_mean = 0.20;
+  p.gap_sigma = 0.025;
+  p.expected_int_bits = 6;
+  p.expected_frac_bits = 3;
+  return p;
+}
+
+DatasetProfile DatasetProfile::cola() {
+  DatasetProfile p;
+  p.name = "CoLA";
+  p.bg_depth = 17.0;
+  p.bg_sigma = 4.0;
+  p.max_spread = 30.0;
+  p.contenders = 2;
+  p.gap_mean = 1.4;
+  p.gap_sigma = 0.6;
+  p.expected_int_bits = 5;
+  p.expected_frac_bits = 2;
+  return p;
+}
+
+std::vector<DatasetProfile> DatasetProfile::all() {
+  return {cnews(), mrpc(), cola()};
+}
+
+}  // namespace star::workload

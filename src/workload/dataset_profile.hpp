@@ -1,0 +1,56 @@
+// Synthetic attention-score profiles for the paper's three datasets.
+//
+// The paper analyses the range of softmax inputs x_i (BERT-base attention
+// scores) on CNEWS, MRPC and CoLA to size the engine's fixed-point format.
+// The proprietary score dumps are unavailable, so each dataset is replaced
+// by a generator whose two behaviour-carrying statistics are modelled
+// explicitly (see DESIGN.md §1):
+//
+//   * spread  — how far below x_max the background scores sit. This fixes
+//     the required *integer* bits (CNEWS/MRPC spreads reach past 32 -> 6
+//     bits; CoLA stays under 32 -> 5 bits).
+//   * top-gap — how close the runner-up scores are to x_max. Near-ties make
+//     the softmax output sensitive to quantisation, which fixes the
+//     required *fraction* bits (MRPC's paraphrase pairs produce near-ties
+//     -> 3 bits; CNEWS/CoLA are peaked -> 2 bits).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace star::workload {
+
+struct DatasetProfile {
+  std::string name;
+
+  // Background scores: x_max - x_bg ~ |N(bg_depth, bg_sigma)|, clamped to
+  // [min_spread_floor, max_spread].
+  double bg_depth = 35.0;
+  double bg_sigma = 6.0;
+  double max_spread = 60.0;
+
+  // Contenders: `contenders` scores sit close to the top, at gaps
+  // |N(gap_mean, gap_sigma)| below x_max.
+  int contenders = 2;
+  double gap_mean = 1.5;
+  double gap_sigma = 0.8;
+
+  /// Expected bitwidth result from the paper (for EXPERIMENTS.md checks).
+  int expected_int_bits = 6;
+  int expected_frac_bits = 2;
+
+  /// One score row of length `len` (x_max itself is placed at a random
+  /// position; values are absolute logits with a random row offset, since
+  /// softmax is shift-invariant the offset exercises the x - x_max path).
+  [[nodiscard]] std::vector<double> sample_row(std::size_t len, Rng& rng) const;
+
+  /// The paper's three datasets.
+  static DatasetProfile cnews();
+  static DatasetProfile mrpc();
+  static DatasetProfile cola();
+  static std::vector<DatasetProfile> all();
+};
+
+}  // namespace star::workload

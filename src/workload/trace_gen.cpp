@@ -1,0 +1,47 @@
+#include "workload/trace_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace star::workload {
+
+std::vector<std::vector<double>> score_batch(const DatasetProfile& profile,
+                                             std::size_t rows, std::size_t len,
+                                             Rng& rng) {
+  require(rows >= 1, "score_batch: rows must be >= 1");
+  std::vector<std::vector<double>> out;
+  out.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    out.push_back(profile.sample_row(len, rng));
+  }
+  return out;
+}
+
+QkvTriple random_qkv(std::size_t seq_len, std::size_t d_k, double score_std, Rng& rng) {
+  require(seq_len >= 1 && d_k >= 1, "random_qkv: dims must be >= 1");
+  require(score_std > 0.0, "random_qkv: score_std must be positive");
+  // For q, k ~ N(0, s^2) i.i.d., (q . k)/sqrt(d_k) has std ~ s^2 * sqrt(d_k)
+  // ... / sqrt(d_k) = s^2. Choose s = sqrt(score_std).
+  const double s = std::sqrt(score_std);
+  QkvTriple t{nn::Tensor::randn(seq_len, d_k, rng, 0.0, s),
+              nn::Tensor::randn(seq_len, d_k, rng, 0.0, s),
+              nn::Tensor::randn(seq_len, d_k, rng, 0.0, 1.0)};
+  return t;
+}
+
+double max_spread(const std::vector<std::vector<double>>& rows) {
+  double worst = 0.0;
+  for (const auto& row : rows) {
+    if (row.empty()) {
+      continue;
+    }
+    const double mx = *std::max_element(row.begin(), row.end());
+    const double mn = *std::min_element(row.begin(), row.end());
+    worst = std::max(worst, mx - mn);
+  }
+  return worst;
+}
+
+}  // namespace star::workload

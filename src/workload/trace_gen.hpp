@@ -1,0 +1,27 @@
+// Workload generators: batches of score rows from a dataset profile and
+// synthetic Q/K/V tensors with controlled score statistics.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+#include "workload/dataset_profile.hpp"
+
+namespace star::workload {
+
+/// `rows` score rows of length `len` drawn from `profile`.
+std::vector<std::vector<double>> score_batch(const DatasetProfile& profile,
+                                             std::size_t rows, std::size_t len, Rng& rng);
+
+/// Synthetic Q/K/V for one attention head such that the score matrix
+/// QK^T/sqrt(d_k) has entries of standard deviation ~`score_std`.
+struct QkvTriple {
+  nn::Tensor q, k, v;
+};
+QkvTriple random_qkv(std::size_t seq_len, std::size_t d_k, double score_std, Rng& rng);
+
+/// Largest |x_i - x_max| across a batch (the integer-bits driver).
+double max_spread(const std::vector<std::vector<double>>& rows);
+
+}  // namespace star::workload

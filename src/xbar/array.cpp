@@ -1,0 +1,117 @@
+#include "xbar/array.hpp"
+
+#include "util/math.hpp"
+#include "util/status.hpp"
+
+namespace star::xbar {
+
+CrossbarArray::CrossbarArray(ArrayConfig cfg, RramDevice device, Rng rng)
+    : cfg_(cfg), device_(device), rng_(rng) {
+  require(cfg.rows >= 1 && cfg.cols >= 1, "CrossbarArray: dimensions must be >= 1");
+  require(cfg.ir_drop_alpha >= 0.0 && cfg.ir_drop_alpha < 1.0,
+          "CrossbarArray: ir_drop_alpha must be in [0, 1)");
+  device_.validate();
+  const std::size_t n = static_cast<std::size_t>(cfg.rows) * cfg.cols;
+  g_us_.assign(n, device_.g_off_us);
+  levels_.assign(n, 0);
+}
+
+void CrossbarArray::program_cell(int r, int c, int level) {
+  require(r >= 0 && r < cfg_.rows && c >= 0 && c < cfg_.cols,
+          "CrossbarArray::program_cell: index out of range");
+  require(level >= 0 && level < device_.levels(),
+          "CrossbarArray::program_cell: level out of range");
+  const std::size_t i = static_cast<std::size_t>(r) * cfg_.cols + c;
+  levels_[i] = level;
+  g_us_[i] = device_.program(level, rng_);
+}
+
+void CrossbarArray::program(const std::vector<std::vector<int>>& levels) {
+  require(static_cast<int>(levels.size()) == cfg_.rows,
+          expected_got("CrossbarArray::program rows", cfg_.rows,
+                       static_cast<long long>(levels.size())));
+  for (int r = 0; r < cfg_.rows; ++r) {
+    require(static_cast<int>(levels[r].size()) == cfg_.cols,
+            expected_got("CrossbarArray::program cols", cfg_.cols,
+                         static_cast<long long>(levels[r].size())));
+    for (int c = 0; c < cfg_.cols; ++c) {
+      program_cell(r, c, levels[r][c]);
+    }
+  }
+}
+
+double CrossbarArray::conductance(int r, int c) const {
+  require(r >= 0 && r < cfg_.rows && c >= 0 && c < cfg_.cols,
+          "CrossbarArray::conductance: index out of range");
+  return g_us_[static_cast<std::size_t>(r) * cfg_.cols + c];
+}
+
+int CrossbarArray::stored_level(int r, int c) const {
+  require(r >= 0 && r < cfg_.rows && c >= 0 && c < cfg_.cols,
+          "CrossbarArray::stored_level: index out of range");
+  return levels_[static_cast<std::size_t>(r) * cfg_.cols + c];
+}
+
+double CrossbarArray::ir_factor(int r, int c) const {
+  if (cfg_.ir_drop_alpha <= 0.0) {
+    return 1.0;
+  }
+  const double depth = (static_cast<double>(r) / cfg_.rows +
+                        static_cast<double>(c) / cfg_.cols) * 0.5;
+  return 1.0 - cfg_.ir_drop_alpha * depth;
+}
+
+std::vector<double> CrossbarArray::mvm_currents(const std::vector<double>& v_rows) {
+  require(static_cast<int>(v_rows.size()) == cfg_.rows,
+          expected_got("CrossbarArray::mvm_currents rows", cfg_.rows,
+                       static_cast<long long>(v_rows.size())));
+  std::vector<double> i_cols(static_cast<std::size_t>(cfg_.cols), 0.0);
+  for (int r = 0; r < cfg_.rows; ++r) {
+    const double v = v_rows[r];
+    if (v == 0.0) {
+      continue;
+    }
+    const std::size_t base = static_cast<std::size_t>(r) * cfg_.cols;
+    for (int c = 0; c < cfg_.cols; ++c) {
+      double g = g_us_[base + c];
+      if (cfg_.model_read_noise && device_.read_noise_sigma > 0.0) {
+        g = device_.read(g, rng_);
+      }
+      i_cols[c] += v * g * ir_factor(r, c);  // uA (V * uS)
+    }
+  }
+  return i_cols;
+}
+
+Energy CrossbarArray::read_energy(int active_rows) const {
+  require(active_rows >= 0 && active_rows <= cfg_.rows,
+          "CrossbarArray::read_energy: active_rows out of range");
+  // Average stored conductance over the whole array approximates the
+  // column loading each driven row sees.
+  double g_avg = 0.0;
+  for (double g : g_us_) {
+    g_avg += g;
+  }
+  g_avg /= static_cast<double>(g_us_.size());
+  const double cells = static_cast<double>(active_rows) * cfg_.cols;
+  return device_.read_energy(g_avg) * cells;
+}
+
+Energy CrossbarArray::write_energy(std::int64_t cells) const {
+  return device_.write_energy() * static_cast<double>(cells);
+}
+
+Time CrossbarArray::write_latency(std::int64_t cells, int parallel_rows) const {
+  require(parallel_rows >= 1, "CrossbarArray::write_latency: parallel_rows must be >= 1");
+  // Row-parallel programming: cells in the same row program together,
+  // `parallel_rows` rows at a time.
+  const auto row_groups =
+      ceil_div(ceil_div(cells, cfg_.cols), parallel_rows);
+  return device_.write_latency() * static_cast<double>(row_groups);
+}
+
+Area CrossbarArray::cell_array_area(double feature_nm) const {
+  return device_.cell_area(feature_nm) * static_cast<double>(cell_count());
+}
+
+}  // namespace star::xbar

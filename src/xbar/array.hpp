@@ -1,0 +1,79 @@
+// Analog crossbar array simulator.
+//
+// Stores one programmed conductance per crosspoint and evaluates
+// current-domain MVMs: I_c = sum_r V_r * G[r][c], with optional IR-drop
+// attenuation, read noise and stuck-at faults inherited from the device
+// model. Digital engines (VMM/CAM/LUT) sit on top and convert between codes
+// and voltages/levels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+#include "xbar/device.hpp"
+
+namespace star::xbar {
+
+/// First-order IR-drop model: the effective conductance seen by cell (r, c)
+/// is attenuated by (1 - alpha * (r / rows + c / cols) / 2) where alpha is
+/// `ir_drop_alpha`. alpha = 0 disables the effect; a 128x128 array with
+/// typical wire resistance corresponds to alpha ~ 0.02-0.05.
+struct ArrayConfig {
+  int rows = 128;
+  int cols = 128;
+  double ir_drop_alpha = 0.0;
+  bool model_read_noise = true;  ///< apply device read noise on every MVM
+};
+
+class CrossbarArray {
+ public:
+  CrossbarArray(ArrayConfig cfg, RramDevice device, Rng rng);
+
+  [[nodiscard]] int rows() const { return cfg_.rows; }
+  [[nodiscard]] int cols() const { return cfg_.cols; }
+  [[nodiscard]] const RramDevice& device() const { return device_; }
+
+  /// Program cell (r, c) to `level` (re-draws variation/faults).
+  void program_cell(int r, int c, int level);
+
+  /// Program a whole level matrix (rows x cols, row-major).
+  void program(const std::vector<std::vector<int>>& levels);
+
+  /// Stored (post-variation) conductance in uS.
+  [[nodiscard]] double conductance(int r, int c) const;
+
+  /// Ideal level last requested for cell (r, c).
+  [[nodiscard]] int stored_level(int r, int c) const;
+
+  /// Analog MVM: bitline currents (uA) for wordline voltages `v_rows` (V).
+  /// Applies IR drop and read noise per the config.
+  [[nodiscard]] std::vector<double> mvm_currents(const std::vector<double>& v_rows);
+
+  /// Full-array read pulse energy given how many rows were driven at v_read.
+  [[nodiscard]] Energy read_energy(int active_rows) const;
+
+  /// Energy/latency to program `cells` cell updates.
+  [[nodiscard]] Energy write_energy(std::int64_t cells) const;
+  [[nodiscard]] Time write_latency(std::int64_t cells, int parallel_rows = 1) const;
+
+  /// Cell-array silicon area (periphery belongs to the tile model).
+  [[nodiscard]] Area cell_array_area(double feature_nm) const;
+
+  /// Number of programmed (non-default) cells — used by write accounting.
+  [[nodiscard]] std::int64_t cell_count() const {
+    return static_cast<std::int64_t>(cfg_.rows) * cfg_.cols;
+  }
+
+ private:
+  [[nodiscard]] double ir_factor(int r, int c) const;
+
+  ArrayConfig cfg_;
+  RramDevice device_;
+  Rng rng_;
+  std::vector<double> g_us_;    // rows * cols conductances
+  std::vector<int> levels_;     // rows * cols ideal levels
+};
+
+}  // namespace star::xbar

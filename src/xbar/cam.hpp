@@ -1,0 +1,67 @@
+// CAM crossbar: content-addressable search over stored codes.
+//
+// Each row stores one `bits`-wide pattern in complementary cell pairs
+// (2 cells per bit, hence the paper's 256x18 geometry for 9-bit data:
+// 2^9 / 2 = 256 rows per bank is NOT the encoding — the 256 rows hold the
+// 256 representable 8-bit magnitudes and 18 columns = 9 bits x 2 cells).
+// A search drives the query on the search lines; a row's matchline stays
+// high iff every bit matches. The digital-equivalent semantics is exact
+// pattern match; an optional miss rate models matchline sensing errors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hw/component.hpp"
+#include "hw/tech.hpp"
+#include "util/rng.hpp"
+#include "xbar/device.hpp"
+
+namespace star::xbar {
+
+class CamCrossbar {
+ public:
+  /// `rows` stored patterns of `bits` bits (2 cells/bit on the die).
+  CamCrossbar(const hw::TechNode& tech, RramDevice device, int rows, int bits,
+              Rng rng = Rng(0xCA3));
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int bits() const { return bits_; }
+  [[nodiscard]] int physical_cols() const { return 2 * bits_; }
+
+  /// Program row `r` to match `code` (0 <= code < 2^bits).
+  void store(int r, std::int64_t code);
+
+  /// Fill rows 0..n-1 with codes produced by `code_of_row`.
+  void fill(const std::vector<std::int64_t>& codes);
+
+  /// One search cycle: matchline vector for `code` (search-error rate
+  /// `miss_prob` flips a matching line low with that probability).
+  [[nodiscard]] std::vector<bool> search(std::int64_t code, double miss_prob = 0.0);
+
+  /// Convenience: the index of the (unique) matching row, if any.
+  [[nodiscard]] std::optional<int> search_index(std::int64_t code);
+
+  /// Per-search dynamic energy, latency; total area incl. sense amps.
+  [[nodiscard]] hw::Cost search_cost() const { return search_cost_; }
+  [[nodiscard]] Area area() const { return area_; }
+  [[nodiscard]] Power leakage() const { return leakage_; }
+
+  /// Cost of programming the full pattern set.
+  [[nodiscard]] Energy program_energy() const;
+  [[nodiscard]] Time program_latency() const;
+
+ private:
+  hw::TechNode tech_;
+  RramDevice device_;
+  int rows_;
+  int bits_;
+  Rng rng_;
+  std::vector<std::int64_t> stored_;  // -1 = unprogrammed (never matches)
+  hw::Cost search_cost_;
+  Area area_{};
+  Power leakage_{};
+};
+
+}  // namespace star::xbar

@@ -1,0 +1,145 @@
+#include "xbar/cam_sub.hpp"
+
+#include <algorithm>
+
+#include "hw/gates.hpp"
+#include "hw/sense_amp.hpp"
+#include "util/status.hpp"
+
+namespace star::xbar {
+
+CamSubCrossbar::CamSubCrossbar(const hw::TechNode& tech, RramDevice device, int bits,
+                               Rng rng)
+    : tech_(tech),
+      bits_(bits),
+      cam_(tech, device, 1 << bits, bits, rng) {
+  require(bits >= 2 && bits <= 12, "CamSubCrossbar: bits must be in [2, 12]");
+
+  // Preload every representable code in descending order.
+  std::vector<std::int64_t> codes(static_cast<std::size_t>(1) << bits);
+  for (std::size_t r = 0; r < codes.size(); ++r) {
+    codes[r] = static_cast<std::int64_t>(codes.size() - 1 - r);
+  }
+  cam_.fill(codes);
+
+  const hw::GateLibrary lib(tech);
+  // OR merge: one OR gate per matchline accumulating into a register bank.
+  or_merge_ =
+      lib.or_tree(cam_.rows()).parallel_with(lib.reg(std::max(1, cam_.rows() / 8)));
+  priority_enc_ = lib.priority_encoder(cam_.rows());
+
+  // SUB read: one pulse with two active rows; per-column multi-level sense
+  // (modelled as one sense amp per physical column plus a bits-wide
+  // correction adder).
+  const hw::SenseAmp sa(tech);
+  sub_read_.energy_per_op =
+      cam_.search_cost().energy_per_op * (2.0 / cam_.rows()) +  // 2 active rows
+      sa.cost().energy_per_op * static_cast<double>(physical_cols()) +
+      lib.adder(bits_).energy_per_op;
+  sub_read_.latency = cam_.search_cost().latency + lib.adder(bits_).latency;
+  sub_read_.area = sa.cost().area * static_cast<double>(physical_cols()) +
+                   lib.adder(bits_).area;
+  sub_read_.leakage = sa.cost().leakage * static_cast<double>(physical_cols());
+
+  area_ = cam_.area() + or_merge_.area + priority_enc_.area + sub_read_.area;
+  leakage_ = cam_.leakage() + or_merge_.leakage + priority_enc_.leakage +
+             sub_read_.leakage;
+}
+
+std::int64_t CamSubCrossbar::code_at(int row) const {
+  require(row >= 0 && row < rows(), "CamSubCrossbar::code_at: row out of range");
+  return static_cast<std::int64_t>(rows() - 1 - row);
+}
+
+int CamSubCrossbar::row_of(std::int64_t code) const {
+  require(code >= 0 && code < rows(), "CamSubCrossbar::row_of: code out of range");
+  return rows() - 1 - static_cast<int>(code);
+}
+
+MaxFindResult CamSubCrossbar::find_max(std::span<const std::int64_t> codes,
+                                       double miss_prob) {
+  require(!codes.empty(), "CamSubCrossbar::find_max: empty input");
+  require(miss_prob >= 0.0 && miss_prob <= 1.0,
+          "CamSubCrossbar::find_max: miss_prob in [0, 1]");
+  MaxFindResult res;
+  res.merged_matchlines.assign(static_cast<std::size_t>(rows()), false);
+  res.input_rows.reserve(codes.size());
+
+  for (const std::int64_t code : codes) {
+    const auto match = cam_.search(code, miss_prob);
+    int matched_row = -1;
+    for (std::size_t r = 0; r < match.size(); ++r) {
+      if (match[r]) {
+        res.merged_matchlines[r] = true;  // the OR-gate cascade (Fig. 1, step 3)
+        matched_row = static_cast<int>(r);
+      }
+    }
+    STAR_ASSERT(matched_row >= 0 || miss_prob > 0.0,
+                "CamSubCrossbar::find_max: every preloaded code must match");
+    res.misses += (matched_row < 0) ? 1 : 0;
+    res.input_rows.push_back(matched_row);
+  }
+
+  // Priority encode: first set bit == largest code (descending preload).
+  for (int r = 0; r < rows(); ++r) {
+    if (res.merged_matchlines[static_cast<std::size_t>(r)]) {
+      res.max_row = r;
+      res.max_code = code_at(r);
+      break;
+    }
+  }
+  if (res.max_row < 0) {
+    throw SimulationError(
+        "CamSubCrossbar::find_max: every search missed; no matchline to encode");
+  }
+  return res;
+}
+
+std::vector<std::int64_t> CamSubCrossbar::subtract_all(
+    const MaxFindResult& mf, std::span<const std::int64_t> codes) const {
+  require(mf.input_rows.size() == codes.size(),
+          "CamSubCrossbar::subtract_all: find_max result does not cover inputs");
+  std::vector<std::int64_t> out(codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    if (mf.input_rows[i] < 0) {
+      // Search miss: no row to drive; the SL stays discharged, which the
+      // downstream exp CAM reads as a below-range magnitude.
+      out[i] = -static_cast<std::int64_t>(rows());
+      continue;
+    }
+    // +V on the input's row, -V on the max row: SL output = x_i - x_max.
+    out[i] = code_at(mf.input_rows[i]) - mf.max_code;
+    if (mf.misses > 0) {
+      // If the true maximum's search missed, survivors can sit above the
+      // elected max; the analog subtractor saturates at zero.
+      out[i] = std::min<std::int64_t>(out[i], 0);
+    }
+    STAR_ASSERT(out[i] <= 0, "CamSubCrossbar::subtract_all: difference must be <= 0");
+  }
+  return out;
+}
+
+Energy CamSubCrossbar::maxfind_energy(int d) const {
+  require(d >= 1, "maxfind_energy: d must be >= 1");
+  return cam_.search_cost().energy_per_op * static_cast<double>(d) +
+         or_merge_.energy_per_op * static_cast<double>(d) +
+         priority_enc_.energy_per_op;
+}
+
+Time CamSubCrossbar::maxfind_latency(int d) const {
+  require(d >= 1, "maxfind_latency: d must be >= 1");
+  // Searches are pipelined one per search cycle; the OR merge overlaps.
+  return cam_.search_cost().latency * static_cast<double>(d) + priority_enc_.latency;
+}
+
+Energy CamSubCrossbar::subtract_energy(int d) const {
+  require(d >= 1, "subtract_energy: d must be >= 1");
+  return sub_read_.energy_per_op * static_cast<double>(d);
+}
+
+Time CamSubCrossbar::subtract_latency(int d) const {
+  require(d >= 1, "subtract_latency: d must be >= 1");
+  return sub_read_.latency * static_cast<double>(d);
+}
+
+}  // namespace star::xbar

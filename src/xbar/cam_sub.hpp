@@ -1,0 +1,93 @@
+// CAM/SUB crossbar — stage 1 of the STAR softmax engine (paper Fig. 1).
+//
+// One crossbar is time-multiplexed between two functions:
+//
+//  Phase A (CAM): all representable codes are preloaded in *descending*
+//  order (row 0 holds the largest code). Each input x_i is searched in one
+//  cycle; its matchline goes high on the row storing x_i. Matchlines of all
+//  d searches are OR-merged; because rows are sorted descending, the first
+//  set bit of the merged vector is the row of x_max.
+//
+//  Phase B (SUB): for each x_i the crossbar is read with +V on x_i's
+//  matched row and -V on the x_max row; the source-line outputs realise
+//  x_i - x_max (always <= 0; the engine keeps the magnitude).
+//
+// Geometry for b-bit data: 2^b rows x 2b columns (complementary cell pairs),
+// e.g. the paper's 512x18 for 9-bit operands.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hw/component.hpp"
+#include "hw/tech.hpp"
+#include "util/rng.hpp"
+#include "xbar/cam.hpp"
+
+namespace star::xbar {
+
+/// Result of the max-find phase.
+struct MaxFindResult {
+  int max_row = -1;                      ///< row index of x_max (first set bit)
+  std::int64_t max_code = 0;             ///< the code stored on that row
+  std::vector<bool> merged_matchlines;   ///< OR of all per-input matchlines
+  std::vector<int> input_rows;           ///< matched row per input (-1 = search miss)
+  int misses = 0;                        ///< failed searches (fault injection)
+};
+
+class CamSubCrossbar {
+ public:
+  /// `bits`-wide operands; rows = 2^bits, preloaded descending.
+  CamSubCrossbar(const hw::TechNode& tech, RramDevice device, int bits,
+                 Rng rng = Rng(0xCA5B));
+
+  [[nodiscard]] int bits() const { return bits_; }
+  [[nodiscard]] int rows() const { return cam_.rows(); }
+  [[nodiscard]] int physical_cols() const { return cam_.physical_cols(); }
+
+  /// Code stored on row r (descending preload: 2^bits - 1 - r).
+  [[nodiscard]] std::int64_t code_at(int row) const;
+  /// Row storing `code`.
+  [[nodiscard]] int row_of(std::int64_t code) const;
+
+  /// Phase A over all inputs: d search cycles + OR merge + priority encode.
+  /// `miss_prob` injects matchline sensing failures: a missed input raises
+  /// no matchline, is excluded from the max vote and later reads as a deep
+  /// (underflowed) magnitude. Throws SimulationError if *every* search
+  /// misses (no matchline to encode).
+  [[nodiscard]] MaxFindResult find_max(std::span<const std::int64_t> codes,
+                                       double miss_prob = 0.0);
+
+  /// Phase B: per-element x_i - x_max (non-positive), given a find_max
+  /// result. Missed inputs return -(2^bits) (below every representable
+  /// magnitude, i.e. their exponential underflows to zero downstream).
+  [[nodiscard]] std::vector<std::int64_t> subtract_all(const MaxFindResult& mf,
+                                                       std::span<const std::int64_t> codes) const;
+
+  // --- cost model ---
+  [[nodiscard]] Area area() const { return area_; }
+  [[nodiscard]] Power leakage() const { return leakage_; }
+
+  /// Costs of a whole find_max over d inputs / a whole subtract pass.
+  [[nodiscard]] Energy maxfind_energy(int d) const;
+  [[nodiscard]] Time maxfind_latency(int d) const;
+  [[nodiscard]] Energy subtract_energy(int d) const;
+  [[nodiscard]] Time subtract_latency(int d) const;
+
+  /// One-time preload cost (all 2^bits rows).
+  [[nodiscard]] Energy program_energy() const { return cam_.program_energy(); }
+  [[nodiscard]] Time program_latency() const { return cam_.program_latency(); }
+
+ private:
+  hw::TechNode tech_;
+  int bits_;
+  CamCrossbar cam_;
+  hw::Cost or_merge_;
+  hw::Cost priority_enc_;
+  hw::Cost sub_read_;
+  Area area_{};
+  Power leakage_{};
+};
+
+}  // namespace star::xbar

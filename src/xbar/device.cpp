@@ -1,0 +1,85 @@
+#include "xbar/device.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace star::xbar {
+
+void RramDevice::validate() const {
+  require(g_on_us > g_off_us && g_off_us >= 0.0,
+          "RramDevice: need g_on > g_off >= 0");
+  require(bits_per_cell >= 1 && bits_per_cell <= 4,
+          "RramDevice: bits_per_cell must be in [1, 4]");
+  require(program_sigma_log >= 0.0 && read_noise_sigma >= 0.0,
+          "RramDevice: noise sigmas must be non-negative");
+  require(stuck_on_rate >= 0.0 && stuck_off_rate >= 0.0 &&
+              stuck_on_rate + stuck_off_rate <= 1.0,
+          "RramDevice: stuck-at rates must form a sub-probability");
+  require(v_read > 0.0, "RramDevice: v_read must be positive");
+}
+
+double RramDevice::conductance_for_level(int level) const {
+  STAR_ASSERT(level >= 0 && level < levels(), "conductance_for_level: bad level");
+  const double t = static_cast<double>(level) / static_cast<double>(levels() - 1);
+  return g_off_us + t * (g_on_us - g_off_us);
+}
+
+double RramDevice::program(int level, Rng& rng) const {
+  const double stuck = rng.uniform();
+  if (stuck < stuck_on_rate) {
+    return g_on_us;
+  }
+  if (stuck < stuck_on_rate + stuck_off_rate) {
+    return g_off_us;
+  }
+  double g = conductance_for_level(level);
+  if (program_sigma_log > 0.0) {
+    g *= rng.lognormal_factor(program_sigma_log);
+  }
+  return std::clamp(g, 0.0, g_on_us * 1.5);
+}
+
+double RramDevice::read(double stored_us, Rng& rng) const {
+  if (read_noise_sigma <= 0.0) {
+    return stored_us;
+  }
+  const double noisy = stored_us * (1.0 + read_noise_sigma * rng.normal());
+  return std::max(noisy, 0.0);
+}
+
+Energy RramDevice::read_energy(double g_us) const {
+  // E = V^2 * G * t_pulse
+  return Energy::J(v_read * v_read * g_us * 1e-6 * read_pulse.as_s());
+}
+
+Energy RramDevice::write_energy() const {
+  return write_energy_per_cell * static_cast<double>(write_verify_rounds);
+}
+
+Time RramDevice::write_latency() const {
+  return write_pulse * static_cast<double>(write_verify_rounds);
+}
+
+Area RramDevice::cell_area(double feature_nm) const {
+  const double f_um = feature_nm * 1e-3;
+  return Area::um2(4.0 * f_um * f_um);
+}
+
+RramDevice RramDevice::ideal(int bits_per_cell) {
+  RramDevice d;
+  d.bits_per_cell = bits_per_cell;
+  d.validate();
+  return d;
+}
+
+RramDevice RramDevice::noisy(int bits_per_cell, double sigma_log, double read_sigma) {
+  RramDevice d;
+  d.bits_per_cell = bits_per_cell;
+  d.program_sigma_log = sigma_log;
+  d.read_noise_sigma = read_sigma;
+  d.validate();
+  return d;
+}
+
+}  // namespace star::xbar

@@ -1,0 +1,73 @@
+// RRAM device model.
+//
+// A multi-level memristive cell characterised by its conductance window
+// [g_off, g_on], programming variation (log-normal, per NeuroSim practice),
+// read noise, stuck-at fault rates and write cost. All crossbar flavours
+// (VMM, CAM, LUT, CAM/SUB) are built from this one device.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace star::xbar {
+
+struct RramDevice {
+  // --- conductance window ---
+  double g_on_us = 100.0;  ///< low-resistance state conductance (uS)
+  double g_off_us = 1.0;   ///< high-resistance state conductance (uS)
+  int bits_per_cell = 2;   ///< multi-level cell: 2^bits levels
+
+  // --- non-idealities ---
+  double program_sigma_log = 0.0;  ///< log-normal programming variation (0 = ideal)
+  double read_noise_sigma = 0.0;   ///< relative Gaussian read noise (0 = ideal)
+  double stuck_on_rate = 0.0;      ///< fraction of cells stuck at g_on
+  double stuck_off_rate = 0.0;     ///< fraction of cells stuck at g_off
+
+  // --- read path ---
+  double v_read = 0.2;             ///< read voltage (V)
+  Time read_pulse = Time::ns(5.0);
+
+  // --- write path ---
+  // calibrated: RRAM SET/RESET cost anchors the PipeLayer-vs-ReTransformer
+  // gap in Fig. 3 (writes of dynamic attention matrices are PipeLayer's
+  // bottleneck). 10 ns / 2 pJ per cell-level step is mid-range for HfOx.
+  Time write_pulse = Time::ns(10.0);
+  Energy write_energy_per_cell = Energy::pJ(2.0);
+  int write_verify_rounds = 2;  ///< program-and-verify iterations
+
+  [[nodiscard]] int levels() const { return 1 << bits_per_cell; }
+
+  /// Ideal conductance (uS) of level `level` in [0, levels) — linear map
+  /// from g_off (level 0) to g_on (max level).
+  [[nodiscard]] double conductance_for_level(int level) const;
+
+  /// Programmed conductance with log-normal variation and stuck-at faults
+  /// applied (draws from rng; deterministic given the stream).
+  [[nodiscard]] double program(int level, Rng& rng) const;
+
+  /// Read-noise-perturbed view of a stored conductance.
+  [[nodiscard]] double read(double stored_us, Rng& rng) const;
+
+  /// Energy of one cell contributing to one read pulse at conductance g.
+  [[nodiscard]] Energy read_energy(double g_us) const;
+
+  /// Cost of (re)programming one cell, including verify rounds.
+  [[nodiscard]] Energy write_energy() const;
+  [[nodiscard]] Time write_latency() const;
+
+  /// Cell footprint: 4F^2 for a crosspoint (1T1R would be ~12F^2).
+  [[nodiscard]] Area cell_area(double feature_nm) const;
+
+  /// Ideal device (no variation/noise/faults) with the given MLC depth.
+  static RramDevice ideal(int bits_per_cell = 2);
+
+  /// A representative noisy HfOx device for robustness studies.
+  static RramDevice noisy(int bits_per_cell = 2, double sigma_log = 0.03,
+                          double read_sigma = 0.01);
+
+  void validate() const;
+};
+
+}  // namespace star::xbar

@@ -1,0 +1,39 @@
+#include "xbar/mapper.hpp"
+
+#include "util/math.hpp"
+#include "util/status.hpp"
+
+namespace star::xbar {
+
+Mapper::Mapper(int tile_rows, int tile_logical_cols, int weight_slices)
+    : tile_rows_(tile_rows), tile_cols_(tile_logical_cols), slices_(weight_slices) {
+  require(tile_rows >= 1 && tile_logical_cols >= 1, "Mapper: tile dims must be >= 1");
+  require(weight_slices >= 1, "Mapper: weight_slices must be >= 1");
+}
+
+TileGrid Mapper::grid_for(std::int64_t m, std::int64_t n) const {
+  require(m >= 1 && n >= 1, "Mapper::grid_for: matrix dims must be >= 1");
+  return TileGrid{ceil_div(m, tile_rows_), ceil_div(n, tile_cols_)};
+}
+
+MappingCost Mapper::map_static(std::int64_t b, std::int64_t m, std::int64_t n) const {
+  require(b >= 1, "Mapper::map_static: batch must be >= 1");
+  MappingCost mc;
+  mc.grid = grid_for(m, n);
+  // Every input vector visits every tile in its row stripe; a full B-batch
+  // therefore costs B * row_tiles * col_tiles invocations.
+  mc.vmm_invocations = b * mc.grid.total();
+  mc.cell_writes = 0;
+  mc.mac_ops = static_cast<double>(b) * static_cast<double>(m) * static_cast<double>(n);
+  return mc;
+}
+
+MappingCost Mapper::map_dynamic(std::int64_t b, std::int64_t m, std::int64_t n) const {
+  MappingCost mc = map_static(b, m, n);
+  // The whole matrix must be programmed once per inference, sliced over
+  // `slices_` physical columns per logical weight.
+  mc.cell_writes = m * n * slices_;
+  return mc;
+}
+
+}  // namespace star::xbar

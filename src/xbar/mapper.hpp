@@ -1,0 +1,55 @@
+// Matrix-to-tile mapping.
+//
+// Partitions a logical M x N matrix (operated as y = x^T W with x of length
+// M) onto R x C-logical tiles, and answers the scheduling questions the
+// accelerator models ask: how many tiles, how many VMM invocations for a
+// batch of B input vectors, and — crucial for the PipeLayer comparison —
+// how much writing a *dynamic* matrix into the tiles costs.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+#include "xbar/device.hpp"
+
+namespace star::xbar {
+
+struct TileGrid {
+  std::int64_t row_tiles = 0;  ///< ceil(M / tile_rows)
+  std::int64_t col_tiles = 0;  ///< ceil(N / tile_logical_cols)
+  [[nodiscard]] std::int64_t total() const { return row_tiles * col_tiles; }
+};
+
+struct MappingCost {
+  TileGrid grid;
+  std::int64_t vmm_invocations = 0;  ///< tile ops for a batch of B inputs
+  std::int64_t cell_writes = 0;      ///< cells programmed (0 for static weights)
+  double mac_ops = 0.0;              ///< useful multiply-accumulates
+};
+
+class Mapper {
+ public:
+  /// `tile_rows` x `tile_logical_cols` logical tile geometry.
+  Mapper(int tile_rows, int tile_logical_cols, int weight_slices);
+
+  [[nodiscard]] TileGrid grid_for(std::int64_t m, std::int64_t n) const;
+
+  /// Cost of multiplying a B x M input matrix by a static M x N matrix.
+  [[nodiscard]] MappingCost map_static(std::int64_t b, std::int64_t m,
+                                       std::int64_t n) const;
+
+  /// Same, but the M x N matrix is dynamic (fresh per inference) and must
+  /// be programmed first — counts the cell writes (x weight slices).
+  [[nodiscard]] MappingCost map_dynamic(std::int64_t b, std::int64_t m,
+                                        std::int64_t n) const;
+
+  [[nodiscard]] int tile_rows() const { return tile_rows_; }
+  [[nodiscard]] int tile_logical_cols() const { return tile_cols_; }
+
+ private:
+  int tile_rows_;
+  int tile_cols_;
+  int slices_;
+};
+
+}  // namespace star::xbar

@@ -1,0 +1,48 @@
+#include "xbar/tile.hpp"
+
+#include "util/math.hpp"
+
+namespace star::xbar {
+
+namespace {
+double input_buffer_bytes(const VmmConfig& cfg) {
+  // Double-buffered input vectors.
+  return 2.0 * cfg.rows * cfg.input_bits / 8.0;
+}
+
+double output_buffer_bytes(const VmmConfig& cfg, int bits_per_cell) {
+  const int out_bits = cfg.input_bits + cfg.weight_bits +
+                       star::bits_for(static_cast<std::uint64_t>(cfg.rows));
+  const int logical = cfg.cols / cfg.slices(bits_per_cell);
+  return 2.0 * logical * out_bits / 8.0;
+}
+}  // namespace
+
+XbarTile::XbarTile(const hw::TechNode& tech, RramDevice device, VmmConfig cfg, Rng rng)
+    : vmm_(tech, device, cfg, rng),
+      in_buf_(tech, input_buffer_bytes(cfg)),
+      out_buf_(tech, output_buffer_bytes(cfg, device.bits_per_cell)) {}
+
+Area XbarTile::area() const {
+  return vmm_.area() + in_buf_.cost().area + out_buf_.cost().area;
+}
+
+Power XbarTile::leakage() const {
+  return vmm_.leakage() + in_buf_.cost().leakage + out_buf_.cost().leakage;
+}
+
+Energy XbarTile::op_energy(int active_rows) const {
+  const auto& cfg = vmm_.config();
+  const double in_words = ceil_div(active_rows * cfg.input_bits, 64);
+  const double out_words =
+      ceil_div(vmm_.logical_cols() * (cfg.input_bits + cfg.weight_bits), 64);
+  return vmm_.op_energy(active_rows) + in_buf_.cost().energy_per_op * in_words +
+         out_buf_.cost().energy_per_op * out_words;
+}
+
+Time XbarTile::op_latency() const {
+  // Buffer access is pipelined behind the VMM; it adds one cycle at each end.
+  return vmm_.op_latency() + in_buf_.cost().latency + out_buf_.cost().latency;
+}
+
+}  // namespace star::xbar

@@ -1,0 +1,35 @@
+// A processing tile: one BitSlicedVmm plus its staging SRAM. The MatMul
+// engine and the baseline accelerator models compose tiles via the Mapper.
+#pragma once
+
+#include <memory>
+
+#include "hw/sram.hpp"
+#include "xbar/vmm_engine.hpp"
+
+namespace star::xbar {
+
+class XbarTile {
+ public:
+  XbarTile(const hw::TechNode& tech, RramDevice device, VmmConfig cfg,
+           Rng rng = Rng(0x711E));
+
+  [[nodiscard]] BitSlicedVmm& vmm() { return vmm_; }
+  [[nodiscard]] const BitSlicedVmm& vmm() const { return vmm_; }
+
+  /// Tile totals (crossbar + periphery + buffers).
+  [[nodiscard]] Area area() const;
+  [[nodiscard]] Power leakage() const;
+
+  /// Cost of one VMM invocation including buffer traffic for the input
+  /// vector and output vector.
+  [[nodiscard]] Energy op_energy(int active_rows) const;
+  [[nodiscard]] Time op_latency() const;
+
+ private:
+  BitSlicedVmm vmm_;
+  hw::Sram in_buf_;
+  hw::Sram out_buf_;
+};
+
+}  // namespace star::xbar

@@ -1,0 +1,200 @@
+#include "xbar/vmm_engine.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+#include "util/status.hpp"
+
+namespace star::xbar {
+
+int VmmConfig::slices(int bits_per_cell) const {
+  return static_cast<int>(ceil_div(weight_bits, bits_per_cell));
+}
+
+void VmmConfig::validate() const {
+  require(rows >= 1 && cols >= 1, "VmmConfig: dimensions must be >= 1");
+  require(weight_bits >= 1 && weight_bits <= 16, "VmmConfig: weight_bits in [1, 16]");
+  require(input_bits >= 1 && input_bits <= 16, "VmmConfig: input_bits in [1, 16]");
+  require(adc_bits >= 1 && adc_bits <= 12, "VmmConfig: adc_bits in [1, 12]");
+  require(adc_mux_ratio >= 1 && adc_mux_ratio <= cols,
+          "VmmConfig: adc_mux_ratio in [1, cols]");
+  require(adc_full_scale_frac > 0.0 && adc_full_scale_frac <= 1.0,
+          "VmmConfig: adc_full_scale_frac in (0, 1]");
+}
+
+BitSlicedVmm::BitSlicedVmm(const hw::TechNode& tech, RramDevice device, VmmConfig cfg,
+                           Rng rng)
+    : tech_(tech),
+      device_(device),
+      cfg_(cfg),
+      array_(ArrayConfig{cfg.rows, cfg.cols, 0.0, true}, device, rng),
+      adc_(tech, cfg.adc_bits),
+      driver_(tech, 1),
+      snh_(tech),
+      shift_add_(tech, cfg.adc_bits + cfg.input_bits + cfg.weight_bits +
+                           bits_for(static_cast<std::uint64_t>(cfg.rows))) {
+  cfg_.validate();
+  require(cfg_.cols % slices() == 0,
+          "BitSlicedVmm: cols must be a multiple of the weight slice count");
+
+  const double n_adc = static_cast<double>(ceil_div(cfg_.cols, cfg_.adc_mux_ratio));
+  area_ = array_.cell_array_area(tech.feature_nm) +
+          driver_.cost().area * static_cast<double>(cfg_.rows) +
+          snh_.cost().area * static_cast<double>(cfg_.cols) +
+          adc_.cost().area * n_adc + shift_add_.cost().area * n_adc;
+  leakage_ = driver_.cost().leakage * static_cast<double>(cfg_.rows) +
+             snh_.cost().leakage * static_cast<double>(cfg_.cols) +
+             adc_.cost().leakage * n_adc + shift_add_.cost().leakage * n_adc;
+}
+
+int BitSlicedVmm::logical_cols() const { return cfg_.cols / slices(); }
+
+void BitSlicedVmm::program_weights(const std::vector<std::vector<std::int64_t>>& weights) {
+  require(static_cast<int>(weights.size()) <= cfg_.rows,
+          "BitSlicedVmm::program_weights: too many rows");
+  const int cell_bits = device_.bits_per_cell;
+  const int n_slices = slices();
+  const std::int64_t level_mask = (std::int64_t{1} << cell_bits) - 1;
+  const std::int64_t w_max = (std::int64_t{1} << cfg_.weight_bits) - 1;
+
+  for (int r = 0; r < static_cast<int>(weights.size()); ++r) {
+    require(static_cast<int>(weights[r].size()) == logical_cols(),
+            expected_got("BitSlicedVmm::program_weights cols", logical_cols(),
+                         static_cast<long long>(weights[r].size())));
+    for (int lc = 0; lc < logical_cols(); ++lc) {
+      const std::int64_t w = weights[r][lc];
+      require(w >= 0 && w <= w_max,
+              "BitSlicedVmm::program_weights: weight out of unsigned range");
+      for (int s = 0; s < n_slices; ++s) {
+        const int level = static_cast<int>((w >> (s * cell_bits)) & level_mask);
+        array_.program_cell(r, lc * n_slices + s, level);
+      }
+    }
+  }
+  programmed_rows_ = static_cast<int>(weights.size());
+
+  // Profile the per-column worst-case discharge (all programmed rows
+  // driven) to calibrate the ADC full scale, as NeuroSim-style flows do.
+  col_max_counts_.assign(static_cast<std::size_t>(cfg_.cols), 0.0);
+  for (int r = 0; r < programmed_rows_; ++r) {
+    for (int lc = 0; lc < logical_cols(); ++lc) {
+      const std::int64_t w = weights[static_cast<std::size_t>(r)][static_cast<std::size_t>(lc)];
+      for (int s = 0; s < n_slices; ++s) {
+        const int level = static_cast<int>((w >> (s * cell_bits)) & level_mask);
+        col_max_counts_[static_cast<std::size_t>(lc * n_slices + s)] += level;
+      }
+    }
+  }
+}
+
+std::vector<std::int64_t> BitSlicedVmm::multiply(std::span<const std::int64_t> x) {
+  require(static_cast<int>(x.size()) <= cfg_.rows,
+          "BitSlicedVmm::multiply: input longer than crossbar rows");
+  const std::int64_t x_max = (std::int64_t{1} << cfg_.input_bits) - 1;
+  for (const auto v : x) {
+    require(v >= 0 && v <= x_max, "BitSlicedVmm::multiply: input out of unsigned range");
+  }
+
+  const int n_slices = slices();
+  const int cell_bits = device_.bits_per_cell;
+  const int max_level = device_.levels() - 1;
+  const double g_span = device_.g_on_us - device_.g_off_us;
+  const double active_rows = static_cast<double>(x.size());
+
+  // Per-column profiled worst case defines each ADC full scale; fall back
+  // to the theoretical bound for unprogrammed engines.
+  const double fs_fallback = static_cast<double>(cfg_.rows) * max_level;
+  const double adc_levels = std::ldexp(1.0, cfg_.adc_bits) - 1.0;
+
+  std::vector<double> acc(static_cast<std::size_t>(logical_cols()), 0.0);
+  std::vector<double> v_rows(static_cast<std::size_t>(cfg_.rows), 0.0);
+
+  for (int b = 0; b < cfg_.input_bits; ++b) {
+    // Drive the b-th bit of every input element.
+    int driven = 0;
+    for (std::size_t r = 0; r < x.size(); ++r) {
+      const bool bit = ((x[r] >> b) & 1) != 0;
+      v_rows[r] = bit ? device_.v_read : 0.0;
+      driven += bit ? 1 : 0;
+    }
+    if (driven == 0) {
+      continue;  // all-zero bit plane: bitlines stay discharged
+    }
+    const auto currents = array_.mvm_currents(v_rows);
+
+    for (int lc = 0; lc < logical_cols(); ++lc) {
+      for (int s = 0; s < n_slices; ++s) {
+        const double i_col = currents[static_cast<std::size_t>(lc * n_slices + s)];
+        // Convert current back to level counts: remove the g_off pedestal of
+        // the `driven` active rows, scale by the conductance step.
+        const double pedestal = device_.v_read * device_.g_off_us * driven;
+        double counts =
+            (i_col - pedestal) / (device_.v_read * g_span) * max_level;
+        counts = std::max(counts, 0.0);
+
+        double digitised;
+        if (cfg_.ideal_readout) {
+          digitised = round_half_even(counts);
+        } else {
+          const std::size_t pc = static_cast<std::size_t>(lc * n_slices + s);
+          const double col_max =
+              col_max_counts_.empty() || col_max_counts_[pc] <= 0.0
+                  ? fs_fallback
+                  : col_max_counts_[pc];
+          const double fs_counts =
+              std::max(1.0, cfg_.adc_full_scale_frac * col_max);
+          const double clipped = std::min(counts, fs_counts);
+          const double code = round_half_even(clipped / fs_counts * adc_levels);
+          digitised = code / adc_levels * fs_counts;
+        }
+        acc[static_cast<std::size_t>(lc)] +=
+            std::ldexp(digitised, b + s * cell_bits);
+      }
+    }
+    (void)active_rows;
+  }
+
+  std::vector<std::int64_t> y(acc.size());
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    y[i] = static_cast<std::int64_t>(round_half_even(acc[i]));
+  }
+  return y;
+}
+
+Energy BitSlicedVmm::op_energy(int active_rows) const {
+  require(active_rows >= 0 && active_rows <= cfg_.rows,
+          "BitSlicedVmm::op_energy: active_rows out of range");
+  const double bits = cfg_.input_bits;
+  const double n_adc = static_cast<double>(ceil_div(cfg_.cols, cfg_.adc_mux_ratio));
+  // On average half the driven rows carry a 1 in any bit plane.
+  const double mean_active = 0.5 * active_rows;
+  Energy per_bit = driver_.cost().energy_per_op * mean_active +
+                   array_.read_energy(static_cast<int>(mean_active)) +
+                   snh_.cost().energy_per_op * static_cast<double>(cfg_.cols) +
+                   adc_.cost().energy_per_op * static_cast<double>(cfg_.cols) +
+                   shift_add_.cost().energy_per_op * n_adc *
+                       static_cast<double>(cfg_.adc_mux_ratio);
+  return per_bit * bits;
+}
+
+Time BitSlicedVmm::op_latency() const {
+  // Per input bit: array settle, then the ADC walks its mux group; the
+  // shift-add keeps up at one accumulation per conversion.
+  const Time per_bit = device_.read_pulse +
+                       adc_.cost().latency * static_cast<double>(cfg_.adc_mux_ratio);
+  return per_bit * static_cast<double>(cfg_.input_bits);
+}
+
+Energy BitSlicedVmm::program_energy() const {
+  const std::int64_t cells =
+      static_cast<std::int64_t>(programmed_rows_) * cfg_.cols;
+  return array_.write_energy(cells);
+}
+
+Time BitSlicedVmm::program_latency() const {
+  const std::int64_t cells =
+      static_cast<std::int64_t>(programmed_rows_) * cfg_.cols;
+  return array_.write_latency(cells);
+}
+
+}  // namespace star::xbar

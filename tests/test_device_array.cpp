@@ -1,0 +1,191 @@
+// Tests for the RRAM device model and the analog crossbar array.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "xbar/array.hpp"
+#include "xbar/device.hpp"
+
+namespace star::xbar {
+namespace {
+
+TEST(RramDevice, LevelsSpanConductanceWindow) {
+  const RramDevice d = RramDevice::ideal(2);
+  EXPECT_EQ(d.levels(), 4);
+  EXPECT_DOUBLE_EQ(d.conductance_for_level(0), d.g_off_us);
+  EXPECT_DOUBLE_EQ(d.conductance_for_level(3), d.g_on_us);
+  EXPECT_LT(d.conductance_for_level(1), d.conductance_for_level(2));
+}
+
+TEST(RramDevice, IdealProgramIsExact) {
+  const RramDevice d = RramDevice::ideal(2);
+  Rng rng(1);
+  for (int level = 0; level < d.levels(); ++level) {
+    EXPECT_DOUBLE_EQ(d.program(level, rng), d.conductance_for_level(level));
+  }
+}
+
+TEST(RramDevice, VariationIsMedianPreserving) {
+  const RramDevice d = RramDevice::noisy(2, 0.05, 0.0);
+  Rng rng(2);
+  std::vector<double> samples(10001);
+  for (auto& s : samples) {
+    s = d.program(3, rng);
+  }
+  std::nth_element(samples.begin(), samples.begin() + 5000, samples.end());
+  EXPECT_NEAR(samples[5000], d.g_on_us, d.g_on_us * 0.02);
+}
+
+TEST(RramDevice, StuckAtRatesRespected) {
+  RramDevice d = RramDevice::ideal(2);
+  d.stuck_off_rate = 0.5;
+  d.validate();
+  Rng rng(3);
+  int stuck = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (d.program(3, rng) == d.g_off_us) {
+      ++stuck;
+    }
+  }
+  EXPECT_NEAR(stuck / 4000.0, 0.5, 0.05);
+}
+
+TEST(RramDevice, ReadNoiseOffIsIdentity) {
+  const RramDevice d = RramDevice::ideal(2);
+  Rng rng(4);
+  EXPECT_DOUBLE_EQ(d.read(55.5, rng), 55.5);
+}
+
+TEST(RramDevice, ReadNoiseStaysNonNegative) {
+  const RramDevice d = RramDevice::noisy(2, 0.0, 0.5);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(d.read(1.0, rng), 0.0);
+  }
+}
+
+TEST(RramDevice, EnergiesAndLatenciesPositive) {
+  const RramDevice d = RramDevice::ideal(2);
+  EXPECT_GT(d.read_energy(d.g_on_us).as_fJ(), 0.0);
+  EXPECT_GT(d.write_energy().as_pJ(), 0.0);
+  EXPECT_GT(d.write_latency().as_ns(), 0.0);
+  EXPECT_GT(d.cell_area(32.0).as_um2(), 0.0);
+  // Verify rounds multiply the single-pulse cost.
+  RramDevice d1 = d;
+  d1.write_verify_rounds = 1;
+  EXPECT_NEAR(d.write_energy().as_pJ(), 2.0 * d1.write_energy().as_pJ(), 1e-9);
+}
+
+TEST(RramDevice, ValidateRejectsBadWindows) {
+  RramDevice d = RramDevice::ideal(2);
+  d.g_off_us = d.g_on_us + 1.0;
+  EXPECT_THROW(d.validate(), InvalidArgument);
+  RramDevice d2 = RramDevice::ideal(2);
+  d2.stuck_on_rate = 0.7;
+  d2.stuck_off_rate = 0.7;
+  EXPECT_THROW(d2.validate(), InvalidArgument);
+}
+
+// ---------- CrossbarArray ----------
+
+CrossbarArray ideal_array(int rows, int cols) {
+  ArrayConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  cfg.model_read_noise = false;
+  return CrossbarArray(cfg, RramDevice::ideal(2), Rng(0xA));
+}
+
+TEST(CrossbarArray, ProgramAndReadBack) {
+  auto arr = ideal_array(4, 4);
+  arr.program_cell(1, 2, 3);
+  EXPECT_EQ(arr.stored_level(1, 2), 3);
+  EXPECT_DOUBLE_EQ(arr.conductance(1, 2), arr.device().g_on_us);
+  EXPECT_EQ(arr.stored_level(0, 0), 0);
+}
+
+TEST(CrossbarArray, IdealMvmMatchesIntegerDot) {
+  auto arr = ideal_array(8, 8);
+  Rng rng(6);
+  std::vector<std::vector<int>> levels(8, std::vector<int>(8));
+  for (auto& row : levels) {
+    for (auto& v : row) {
+      v = static_cast<int>(rng.uniform_int(0, 3));
+    }
+  }
+  arr.program(levels);
+
+  std::vector<double> v_rows(8);
+  std::vector<int> active(8);
+  for (int r = 0; r < 8; ++r) {
+    active[r] = static_cast<int>(rng.uniform_int(0, 1));
+    v_rows[r] = active[r] ? 0.2 : 0.0;
+  }
+  const auto currents = arr.mvm_currents(v_rows);
+
+  const RramDevice& d = arr.device();
+  const double g_step = (d.g_on_us - d.g_off_us) / 3.0;
+  for (int c = 0; c < 8; ++c) {
+    double expected = 0.0;
+    for (int r = 0; r < 8; ++r) {
+      if (active[r]) {
+        expected += 0.2 * (d.g_off_us + g_step * levels[r][c]);
+      }
+    }
+    EXPECT_NEAR(currents[c], expected, 1e-9);
+  }
+}
+
+TEST(CrossbarArray, IrDropAttenuatesFarCells) {
+  ArrayConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 16;
+  cfg.ir_drop_alpha = 0.2;
+  cfg.model_read_noise = false;
+  CrossbarArray arr(cfg, RramDevice::ideal(2), Rng(0xB));
+  std::vector<std::vector<int>> levels(16, std::vector<int>(16, 3));
+  arr.program(levels);
+
+  std::vector<double> near_only(16, 0.0), far_only(16, 0.0);
+  near_only[0] = 0.2;
+  far_only[15] = 0.2;
+  const double i_near = arr.mvm_currents(near_only)[0];
+  const double i_far = arr.mvm_currents(far_only)[0];
+  EXPECT_GT(i_near, i_far);
+}
+
+TEST(CrossbarArray, WriteCostsScaleWithCells) {
+  const auto arr = ideal_array(128, 128);
+  EXPECT_NEAR(arr.write_energy(1000).as_J(), 1000.0 * arr.device().write_energy().as_J(),
+              1e-18);
+  EXPECT_GT(arr.write_latency(128 * 128).as_us(),
+            arr.write_latency(128).as_us());
+  // Row-parallel programming divides the latency.
+  EXPECT_NEAR(arr.write_latency(128 * 128, 4).as_ns(),
+              arr.write_latency(128 * 128, 1).as_ns() / 4.0, 1.0);
+}
+
+TEST(CrossbarArray, ReadEnergyScalesWithActiveRows) {
+  const auto arr = ideal_array(64, 64);
+  EXPECT_GT(arr.read_energy(64).as_fJ(), arr.read_energy(1).as_fJ());
+  EXPECT_DOUBLE_EQ(arr.read_energy(0).as_fJ(), 0.0);
+}
+
+TEST(CrossbarArray, ShapeChecks) {
+  auto arr = ideal_array(4, 4);
+  EXPECT_THROW(arr.program_cell(4, 0, 0), InvalidArgument);
+  EXPECT_THROW(arr.program_cell(0, 0, 7), InvalidArgument);
+  EXPECT_THROW(arr.mvm_currents(std::vector<double>(3, 0.0)), InvalidArgument);
+  EXPECT_THROW(arr.program({{0, 0}, {0, 0}}), InvalidArgument);
+}
+
+TEST(CrossbarArray, CellAreaMatchesGeometry) {
+  const auto arr = ideal_array(128, 128);
+  const double expected_um2 = 128.0 * 128.0 * 4.0 * 0.032 * 0.032;
+  EXPECT_NEAR(arr.cell_array_area(32.0).as_um2(), expected_um2, 1e-6);
+}
+
+}  // namespace
+}  // namespace star::xbar

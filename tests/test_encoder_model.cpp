@@ -1,0 +1,158 @@
+// Tests for the full-encoder extension model and the CAM fault-injection
+// path it shares a release with.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/encoder_model.hpp"
+#include "core/softmax_engine.hpp"
+#include "nn/softmax_ref.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "workload/dataset_profile.hpp"
+#include "xbar/cam_sub.hpp"
+
+namespace star::core {
+namespace {
+
+StarConfig nine_bit_cfg() {
+  StarConfig cfg;
+  cfg.softmax_format = fxp::kMrpcFormat;
+  return cfg;
+}
+
+const nn::BertConfig kBert = nn::BertConfig::base();
+
+// ---------- encoder model ----------
+
+TEST(EncoderModel, LayerExtendsAttention) {
+  const EncoderModel model(nine_bit_cfg());
+  const auto res = model.run_encoder_layer(kBert, 128);
+  EXPECT_GT(res.latency.as_us(), res.attention.latency.as_us());
+  EXPECT_GT(res.energy.as_J(), res.attention.energy.as_J());
+  EXPECT_GT(res.ffn_latency.as_us(), 0.0);
+  EXPECT_GT(res.ffn_energy.as_uJ(), 0.0);
+  EXPECT_GT(res.vector_unit_energy.as_nJ(), 0.0);
+}
+
+TEST(EncoderModel, TimeShareConstantEnergyShareGrows) {
+  const EncoderModel model(nine_bit_cfg());
+  // Latency is row-throughput bound on both sides (the L^2 score/context
+  // work is absorbed by column-parallel tiles), so the attention *time*
+  // share stays near one half; the L^2 terms surface in *energy*, whose
+  // attention share must grow with L.
+  double prev_energy_share = 0.0;
+  for (std::int64_t l : {64, 128, 256, 512}) {
+    const auto res = model.run_encoder_layer(kBert, l);
+    EXPECT_GT(res.attention_time_share, 0.40) << "L=" << l;
+    EXPECT_LT(res.attention_time_share, 0.60) << "L=" << l;
+    const double energy_share = res.attention.energy.as_J() / res.energy.as_J();
+    EXPECT_GT(energy_share, prev_energy_share) << "L=" << l;
+    prev_energy_share = energy_share;
+  }
+}
+
+TEST(EncoderModel, OpsIncludeFfn) {
+  const EncoderModel model(nine_bit_cfg());
+  const auto enc = model.run_encoder_layer(kBert, 128);
+  const auto attn = model.accelerator().run_attention_layer(kBert, 128);
+  // FFN macs = 2 * L * d * d_ff, counted at 2 ops/mac.
+  const double ffn_ops = 2.0 * 2.0 * 128.0 * 768.0 * 3072.0;
+  EXPECT_GT(enc.report.total_ops, attn.report.total_ops + ffn_ops * 0.99);
+}
+
+TEST(EncoderModel, EfficiencyInPlausibleBand) {
+  const EncoderModel model(nine_bit_cfg());
+  const auto res = model.run_encoder_layer(kBert, 128);
+  // FFN adds matmul-dominated work at similar efficiency: layer-level
+  // GOPs/s/W stays within a factor ~2 of the attention-only figure.
+  const auto attn = model.accelerator().run_attention_layer(kBert, 128);
+  const double ratio = res.report.gops_per_watt() / attn.report.gops_per_watt();
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(EncoderModel, RejectsBadSeqLen) {
+  const EncoderModel model(nine_bit_cfg());
+  EXPECT_THROW(model.run_encoder_layer(kBert, 1), InvalidArgument);
+}
+
+// ---------- CAM fault injection ----------
+
+TEST(FaultInjection, MissProbZeroIsFaultFree) {
+  xbar::CamSubCrossbar cs(hw::TechNode::n32(), xbar::RramDevice::ideal(2), 8);
+  const std::vector<std::int64_t> xs{10, 250, 100};
+  const auto mf = cs.find_max(xs, 0.0);
+  EXPECT_EQ(mf.misses, 0);
+  EXPECT_EQ(mf.max_code, 250);
+}
+
+TEST(FaultInjection, MissedInputsReadAsUnderflow) {
+  xbar::CamSubCrossbar cs(hw::TechNode::n32(), xbar::RramDevice::ideal(2), 6);
+  // miss_prob = 1 would miss everything (throws); use a crafted result.
+  const std::vector<std::int64_t> xs{5, 60, 20};
+  auto mf = cs.find_max(xs, 0.0);
+  mf.input_rows[0] = -1;  // inject: first search missed
+  mf.misses = 1;
+  const auto diffs = cs.subtract_all(mf, xs);
+  EXPECT_EQ(diffs[0], -64);  // below every representable magnitude
+  EXPECT_EQ(diffs[1], 0);
+  EXPECT_EQ(diffs[2], 20 - 60);
+}
+
+TEST(FaultInjection, AllMissesThrowSimulationError) {
+  xbar::CamSubCrossbar cs(hw::TechNode::n32(), xbar::RramDevice::ideal(2), 6);
+  const std::vector<std::int64_t> xs{5, 60};
+  EXPECT_THROW((void)cs.find_max(xs, 1.0), SimulationError);
+}
+
+TEST(FaultInjection, SaturatedSubtractionWhenMaxMissed) {
+  xbar::CamSubCrossbar cs(hw::TechNode::n32(), xbar::RramDevice::ideal(2), 6);
+  const std::vector<std::int64_t> xs{5, 60, 20};
+  auto mf = cs.find_max(xs, 0.0);
+  // Pretend the true max (60) missed and 20 was elected instead.
+  mf.input_rows[1] = -1;
+  mf.misses = 1;
+  mf.max_row = cs.row_of(20);
+  mf.max_code = 20;
+  const auto diffs = cs.subtract_all(mf, xs);
+  EXPECT_EQ(diffs[1], -64);  // the missed element underflows
+  EXPECT_LE(diffs[0], 0);    // survivors stay non-positive (saturation)
+  EXPECT_EQ(diffs[2], 0);
+}
+
+TEST(FaultInjection, EngineDegradesGracefullyUnderMisses) {
+  StarConfig cfg = nine_bit_cfg();
+  cfg.cam_miss_prob = 0.01;
+  SoftmaxEngine engine(cfg);
+  Rng rng(7);
+  const auto profile = workload::DatasetProfile::cnews();
+  int agree = 0;
+  const int rows = 100;
+  for (int r = 0; r < rows; ++r) {
+    const auto row = profile.sample_row(64, rng);
+    const auto exact = nn::softmax(row);
+    const auto got = engine(row);
+    double sum = 0.0;
+    for (double v : got) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_LE(sum, 1.0 + 1e-9);
+    agree += (argmax(exact) == argmax(got)) ? 1 : 0;
+  }
+  // 1% matchline misses barely move the argmax.
+  EXPECT_GT(static_cast<double>(agree) / rows, 0.9);
+}
+
+TEST(FaultInjection, ConfigValidatesMissProb) {
+  StarConfig cfg = nine_bit_cfg();
+  cfg.cam_miss_prob = 1.0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.cam_miss_prob = -0.1;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace star::core

@@ -1,0 +1,204 @@
+// Unit and property tests for the fixed-point module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fxp/fixed.hpp"
+#include "fxp/qformat.hpp"
+#include "fxp/quantize.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace star::fxp {
+namespace {
+
+TEST(QFormat, PaperFormatsHaveDocumentedWidths) {
+  EXPECT_EQ(kCnewsFormat.total_bits(), 8);  // 6-bit integer, 2-bit decimal
+  EXPECT_EQ(kMrpcFormat.total_bits(), 9);   // 6-bit integer, 3-bit decimal
+  EXPECT_EQ(kColaFormat.total_bits(), 7);   // 5-bit integer, 2-bit decimal
+}
+
+TEST(QFormat, RangeAndResolution) {
+  const QFormat f = make_unsigned(6, 2);
+  EXPECT_DOUBLE_EQ(f.resolution(), 0.25);
+  EXPECT_DOUBLE_EQ(f.min_value(), 0.0);
+  EXPECT_DOUBLE_EQ(f.max_value(), 64.0 - 0.25);
+  EXPECT_EQ(f.code_count(), 256);
+
+  const QFormat s = make_signed(3, 1);
+  EXPECT_DOUBLE_EQ(s.min_value(), -8.0);
+  EXPECT_DOUBLE_EQ(s.max_value(), 8.0 - 0.5);
+  EXPECT_EQ(s.code_count(), 32);
+}
+
+TEST(QFormat, CodeRoundTripIsExactOnGrid) {
+  const QFormat f = make_unsigned(4, 3);
+  for (std::int64_t c = 0; c < f.code_count(); ++c) {
+    EXPECT_EQ(f.to_code(f.from_code(c)), c);
+  }
+}
+
+TEST(QFormat, QuantizeIdempotent) {
+  const QFormat f = make_unsigned(5, 2);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.uniform(0.0, 31.0);
+    const double q = f.quantize(v);
+    EXPECT_DOUBLE_EQ(f.quantize(q), q);
+    EXPECT_LE(std::fabs(v - q), f.resolution() / 2.0 + 1e-12);
+  }
+}
+
+TEST(QFormat, RoundingModes) {
+  const QFormat f = make_unsigned(4, 0);  // integers 0..15
+  EXPECT_DOUBLE_EQ(f.quantize(2.5, Rounding::kNearestEven), 2.0);
+  EXPECT_DOUBLE_EQ(f.quantize(3.5, Rounding::kNearestEven), 4.0);
+  EXPECT_DOUBLE_EQ(f.quantize(2.5, Rounding::kNearest), 3.0);
+  EXPECT_DOUBLE_EQ(f.quantize(2.9, Rounding::kFloor), 2.0);
+}
+
+TEST(QFormat, SaturationAndThrow) {
+  const QFormat f = make_unsigned(3, 1);  // [0, 7.5]
+  EXPECT_DOUBLE_EQ(f.quantize(100.0), 7.5);
+  EXPECT_DOUBLE_EQ(f.quantize(-5.0), 0.0);
+  EXPECT_THROW((void)f.quantize(100.0, Rounding::kNearestEven, Overflow::kThrow),
+               SimulationError);
+}
+
+TEST(QFormat, SignedSaturation) {
+  const QFormat f = make_signed(3, 1);  // [-8, 7.5]
+  EXPECT_DOUBLE_EQ(f.quantize(-100.0), -8.0);
+  EXPECT_DOUBLE_EQ(f.quantize(100.0), 7.5);
+}
+
+TEST(QFormat, Representable) {
+  const QFormat f = make_unsigned(4, 2);
+  EXPECT_TRUE(f.representable(3.25));
+  EXPECT_FALSE(f.representable(3.30));
+  EXPECT_FALSE(f.representable(-1.0));
+  EXPECT_FALSE(f.representable(16.0));
+}
+
+TEST(QFormat, Name) {
+  EXPECT_EQ(make_unsigned(6, 2).name(), "Q6.2u");
+  EXPECT_EQ(make_signed(5, 3).name(), "Q5.3s");
+}
+
+TEST(QFormat, ValidateRejectsBadWidths) {
+  const QFormat negative{-1, 2, false};
+  EXPECT_THROW(negative.validate(), InvalidArgument);
+  const QFormat too_wide{30, 30, false};
+  EXPECT_THROW(too_wide.validate(), InvalidArgument);
+  EXPECT_NO_THROW(kMrpcFormat.validate());
+}
+
+// ---------- Fixed ----------
+
+TEST(Fixed, FromRealAndBack) {
+  const QFormat f = make_unsigned(6, 2);
+  const Fixed v = Fixed::from_real(3.30, f);
+  EXPECT_DOUBLE_EQ(v.real(), 3.25);
+  EXPECT_EQ(v.code(), 13);
+}
+
+TEST(Fixed, ArithmeticSaturates) {
+  const QFormat f = make_unsigned(3, 0);  // 0..7
+  const Fixed a = Fixed::from_real(6.0, f);
+  const Fixed b = Fixed::from_real(5.0, f);
+  EXPECT_DOUBLE_EQ((a + b).real(), 7.0);   // saturated
+  EXPECT_DOUBLE_EQ((b - a).real(), 0.0);   // clamped at zero for unsigned
+  EXPECT_DOUBLE_EQ((a - b).real(), 1.0);
+}
+
+TEST(Fixed, MixedFormatArithmeticThrows) {
+  const Fixed a = Fixed::from_real(1.0, make_unsigned(4, 1));
+  const Fixed b = Fixed::from_real(1.0, make_unsigned(4, 2));
+  EXPECT_THROW((void)(a + b), InvalidArgument);
+}
+
+TEST(Fixed, CastChangesGrid) {
+  const Fixed a = Fixed::from_real(3.125, make_unsigned(4, 3));
+  const Fixed b = a.cast(make_unsigned(4, 1));
+  EXPECT_DOUBLE_EQ(b.real(), 3.0);  // ties-to-even: 3.125 -> 3.0 on 0.5 grid
+}
+
+TEST(Fixed, FromCodeValidatesRange) {
+  const QFormat f = make_unsigned(2, 0);
+  EXPECT_NO_THROW(Fixed::from_code(3, f));
+  EXPECT_THROW(Fixed::from_code(4, f), InvalidArgument);
+  EXPECT_THROW(Fixed::from_code(-1, f), InvalidArgument);
+}
+
+// ---------- quantize helpers ----------
+
+TEST(Quantize, ErrorShrinksWithFracBits) {
+  Rng rng(17);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) {
+    x = rng.uniform(0.0, 30.0);
+  }
+  double prev_rmse = 1e9;
+  for (int f = 0; f <= 5; ++f) {
+    const auto err = measure_quant_error(xs, make_unsigned(5, f));
+    EXPECT_LT(err.rmse, prev_rmse);
+    EXPECT_LE(err.max_abs, std::ldexp(1.0, -f) / 2.0 + 1e-12);
+    prev_rmse = err.rmse;
+  }
+}
+
+TEST(Quantize, SaturationFractionCounted) {
+  const std::vector<double> xs{1.0, 2.0, 100.0, 200.0};
+  const auto err = measure_quant_error(xs, make_unsigned(3, 0));
+  EXPECT_DOUBLE_EQ(err.sat_frac, 0.5);
+}
+
+TEST(Quantize, RequiredIntBits) {
+  EXPECT_EQ(required_int_bits(std::vector<double>{0.5, 0.9}), 0);
+  EXPECT_EQ(required_int_bits(std::vector<double>{1.5}), 1);
+  EXPECT_EQ(required_int_bits(std::vector<double>{31.9}), 5);
+  EXPECT_EQ(required_int_bits(std::vector<double>{32.0}), 6);
+  EXPECT_EQ(required_int_bits(std::vector<double>{-33.0}), 6);
+}
+
+TEST(Quantize, SymmetricQuantizationBounds) {
+  Rng rng(23);
+  std::vector<double> xs(512);
+  for (auto& x : xs) {
+    x = rng.normal(0.0, 1.0);
+  }
+  const double scale = symmetric_scale(xs, 8);
+  const auto q = quantize_symmetric(xs, 8, scale);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_GE(q[i], -127);
+    EXPECT_LE(q[i], 127);
+    EXPECT_NEAR(static_cast<double>(q[i]) / scale, xs[i], 0.5 / scale + 1e-12);
+  }
+}
+
+TEST(Quantize, SymmetricScaleZeroVectorSafe) {
+  const std::vector<double> xs{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(symmetric_scale(xs, 8), 1.0);
+}
+
+// Property sweep: code round trip across all formats up to 10 total bits.
+class QFormatSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QFormatSweep, AllCodesRoundTrip) {
+  const auto [ib, fb] = GetParam();
+  const QFormat f = make_unsigned(ib, fb);
+  f.validate();
+  for (std::int64_t c = 0; c < f.code_count(); ++c) {
+    const double v = f.from_code(c);
+    EXPECT_EQ(f.to_code(v), c);
+    EXPECT_TRUE(f.representable(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, QFormatSweep,
+                         ::testing::Values(std::pair{4, 2}, std::pair{5, 2},
+                                           std::pair{6, 2}, std::pair{6, 3},
+                                           std::pair{5, 3}, std::pair{7, 3},
+                                           std::pair{8, 2}, std::pair{3, 5}));
+
+}  // namespace
+}  // namespace star::fxp

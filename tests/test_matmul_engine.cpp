@@ -1,0 +1,104 @@
+// Tests for the crossbar MatMul engine (functional and analytic faces).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/matmul_engine.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace star::core {
+namespace {
+
+StarConfig default_cfg() { return StarConfig{}; }
+
+TEST(MatmulEngine, TileGeometryFromConfig) {
+  const MatmulEngine eng(default_cfg());
+  EXPECT_EQ(eng.tile_rows(), 128);
+  // 8-bit weights on 2-bit cells -> 4 slices -> 32 logical columns.
+  EXPECT_EQ(eng.tile_logical_cols(), 32);
+  EXPECT_GT(eng.tile_latency().as_ns(), 0.0);
+  EXPECT_GT(eng.tile_energy(128).as_pJ(), eng.tile_energy(16).as_pJ());
+}
+
+TEST(MatmulEngine, FunctionalMultiplyTracksExact) {
+  MatmulEngine eng(default_cfg());
+  Rng rng(1);
+  const auto x = nn::Tensor::randn(8, 48, rng);
+  const auto w = nn::Tensor::randn(48, 24, rng);
+  const auto exact = x.matmul(w);
+  const auto got = eng.multiply(x, w);
+  ASSERT_EQ(got.rows(), exact.rows());
+  ASSERT_EQ(got.cols(), exact.cols());
+
+  // Quantisation-aware accuracy: high cosine similarity and bounded RMS.
+  const double cos = cosine_similarity(exact.flat(), got.flat());
+  EXPECT_GT(cos, 0.98);
+  const double rms = rms_diff(exact.flat(), got.flat());
+  const double scale = stddev(exact.flat());
+  EXPECT_LT(rms, 0.25 * scale);
+}
+
+TEST(MatmulEngine, MultiplySpansMultipleTiles) {
+  MatmulEngine eng(default_cfg());
+  Rng rng(2);
+  // 160 inner dim -> 2 row stripes; 40 cols -> 2 col stripes.
+  const auto x = nn::Tensor::randn(4, 160, rng);
+  const auto w = nn::Tensor::randn(160, 40, rng);
+  const auto exact = x.matmul(w);
+  const auto got = eng.multiply(x, w);
+  EXPECT_GT(cosine_similarity(exact.flat(), got.flat()), 0.97);
+}
+
+TEST(MatmulEngine, MultiplyShapeChecked) {
+  MatmulEngine eng(default_cfg());
+  Rng rng(3);
+  const auto x = nn::Tensor::randn(4, 8, rng);
+  const auto w = nn::Tensor::randn(9, 4, rng);
+  EXPECT_THROW(eng.multiply(x, w), InvalidArgument);
+}
+
+TEST(MatmulEngine, StreamCostStaticBasics) {
+  const MatmulEngine eng(default_cfg());
+  const auto c = eng.stream_cost(128, 768, 768, false);
+  EXPECT_EQ(c.tiles, 144);          // 6 x 24 grid
+  EXPECT_EQ(c.tile_ops, 128 * 144);
+  EXPECT_DOUBLE_EQ(c.macs, 128.0 * 768.0 * 768.0);
+  EXPECT_DOUBLE_EQ(c.write_energy.as_J(), 0.0);
+  EXPECT_NEAR(c.latency.as_ns(), c.row_service.as_ns() * 128.0, 1e-6);
+  EXPECT_GT(c.energy.as_uJ(), 0.0);
+}
+
+TEST(MatmulEngine, DynamicMatrixPaysWrites) {
+  const MatmulEngine eng(default_cfg());
+  const auto stat = eng.stream_cost(128, 64, 128, false);
+  const auto dyn = eng.stream_cost(128, 64, 128, true);
+  EXPECT_GT(dyn.write_energy.as_nJ(), 0.0);
+  EXPECT_GT(dyn.write_latency.as_ns(), 0.0);
+  EXPECT_GT(dyn.latency.as_ns(), stat.latency.as_ns());
+  EXPECT_NEAR(dyn.energy.as_J(), stat.energy.as_J(), 1e-18);
+}
+
+TEST(MatmulEngine, LatencyScalesWithBatch) {
+  const MatmulEngine eng(default_cfg());
+  const auto a = eng.stream_cost(64, 768, 768, false);
+  const auto b = eng.stream_cost(128, 768, 768, false);
+  EXPECT_NEAR(b.latency.as_ns(), 2.0 * a.latency.as_ns(), 1e-6);
+  EXPECT_NEAR(b.energy.as_J(), 2.0 * a.energy.as_J(), 1e-15);
+}
+
+TEST(MatmulEngine, AreaAndLeakageScaleWithTiles) {
+  const MatmulEngine eng(default_cfg());
+  EXPECT_NEAR(eng.area_for_tiles(10).as_mm2(), 10.0 * eng.area_for_tiles(1).as_mm2(),
+              1e-12);
+  EXPECT_GT(eng.leakage_for_tiles(100).as_mW(), 0.0);
+}
+
+TEST(MatmulEngine, RejectsBadDims) {
+  const MatmulEngine eng(default_cfg());
+  EXPECT_THROW((void)eng.stream_cost(0, 768, 768, false), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace star::core

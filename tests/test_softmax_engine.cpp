@@ -1,0 +1,207 @@
+// Tests for the STAR crossbar softmax engine — functional equivalence with
+// the pure-math oracle, paper geometry, and cost-model sanity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "baseline/cmos_softmax.hpp"
+#include "core/softmax_engine.hpp"
+#include "nn/attention.hpp"
+#include "nn/softmax_ref.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "workload/accuracy_proxy.hpp"
+#include "workload/dataset_profile.hpp"
+
+namespace star::core {
+namespace {
+
+StarConfig config_for(const fxp::QFormat& fmt) {
+  StarConfig cfg;
+  cfg.softmax_format = fmt;
+  return cfg;
+}
+
+/// Rows whose values stay inside the engine's biased-signed input window
+/// (|x| < 2^(b-1) * resolution), where engine and oracle are bit-equivalent.
+std::vector<double> in_window_row(const fxp::QFormat& fmt, std::size_t n, Rng& rng) {
+  const double half_range = std::ldexp(1.0, fmt.total_bits() - 1) * fmt.resolution();
+  std::vector<double> row(n);
+  for (auto& v : row) {
+    v = rng.uniform(-half_range * 0.9, half_range * 0.9);
+  }
+  return row;
+}
+
+TEST(SoftmaxEngine, GeometryMatchesPaperForNineBits) {
+  const SoftmaxEngine eng(config_for(fxp::kMrpcFormat));  // 9-bit
+  // CAM/SUB 512x18; CAM/LUT/VMM with 256 rows (paper Section III).
+  EXPECT_EQ(eng.exp_rows(), 256);
+  EXPECT_EQ(eng.format().total_bits(), 9);
+}
+
+TEST(SoftmaxEngine, MatchesOracleWithinDividerStep) {
+  SoftmaxEngine eng(config_for(fxp::kMrpcFormat));
+  Rng rng(1);
+  const double tol = std::ldexp(1.0, -eng.prob_frac_bits()) * 1.5;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto row = in_window_row(eng.format(), 64, rng);
+    const auto oracle =
+        workload::quantized_softmax(row, eng.format(), eng.lut_frac_bits());
+    const auto got = eng(row);
+    ASSERT_EQ(got.size(), oracle.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i], oracle[i], tol) << "trial " << trial << " i " << i;
+    }
+  }
+}
+
+TEST(SoftmaxEngine, OutputsSumToOneWithinFlooring) {
+  SoftmaxEngine eng(config_for(fxp::kCnewsFormat));
+  Rng rng(2);
+  const auto row = in_window_row(eng.format(), 128, rng);
+  const auto p = eng(row);
+  const double sum = std::accumulate(p.begin(), p.end(), 0.0);
+  // Each element floors away < 1 divider LSB.
+  EXPECT_LE(sum, 1.0 + 1e-9);
+  EXPECT_GE(sum, 1.0 - 128.0 * std::ldexp(1.0, -eng.prob_frac_bits()));
+}
+
+TEST(SoftmaxEngine, OrderPreservingOnCodes) {
+  SoftmaxEngine eng(config_for(fxp::kCnewsFormat));
+  // Codes within e^-x LUT resolution of the max (Q6.2: code 40 = value 10,
+  // so the magnitudes below stay representable in the LUT words).
+  const std::vector<std::int64_t> codes{16, 40, 30, 40};
+  const auto p = eng.forward_codes(codes);
+  EXPECT_LT(p[0], p[2]);
+  EXPECT_LT(p[2], p[1]);
+  EXPECT_EQ(p[1], p[3]);  // equal codes -> identical probabilities
+}
+
+TEST(SoftmaxEngine, DeepElementsUnderflowToZero) {
+  SoftmaxEngine eng(config_for(fxp::kCnewsFormat));
+  // Max code and an element farther than the exp CAM row range below it.
+  const std::vector<std::int64_t> codes{255, 255 - eng.exp_rows() - 1};
+  const auto p = eng.forward_codes(codes);
+  EXPECT_EQ(p[1], 0);
+  EXPECT_GT(p[0], 0);
+}
+
+TEST(SoftmaxEngine, AgreesWithExactSoftmaxOnTypicalRows) {
+  SoftmaxEngine eng(config_for(fxp::kMrpcFormat));
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto row = in_window_row(eng.format(), 32, rng);
+    const auto exact = nn::softmax(row);
+    const auto got = eng(row);
+    EXPECT_EQ(argmax(exact), argmax(got));
+    EXPECT_LT(max_abs_diff(exact, got), 0.04);
+  }
+}
+
+TEST(SoftmaxEngine, WorksAsRowSoftmaxInAttention) {
+  StarConfig cfg = config_for(fxp::kMrpcFormat);
+  SoftmaxEngine eng(cfg);
+  nn::ExactSoftmax exact;
+  Rng rng(4);
+  const auto q = nn::Tensor::randn(8, 16, rng);
+  const auto k = nn::Tensor::randn(8, 16, rng);
+  const auto v = nn::Tensor::randn(8, 4, rng);
+  const auto out_star = nn::scaled_dot_attention(q, k, v, eng);
+  const auto out_exact = nn::scaled_dot_attention(q, k, v, exact);
+  EXPECT_LT(nn::Tensor::max_abs_diff(out_star, out_exact), 0.15);
+}
+
+TEST(SoftmaxEngine, RowStatsPopulatedAndConsistent) {
+  SoftmaxEngine eng(config_for(fxp::kCnewsFormat));
+  Rng rng(5);
+  const auto row = in_window_row(eng.format(), 64, rng);
+  (void)eng(row);
+  const auto& st = eng.row_stats();
+  EXPECT_EQ(st.elements, 64);
+  EXPECT_GT(st.latency.as_ns(), 0.0);
+  EXPECT_GT(st.energy.as_pJ(), 0.0);
+  const double stage_sum = st.t_maxfind.as_ns() + st.t_subtract.as_ns() +
+                           st.t_exp.as_ns() + st.t_sum.as_ns() + st.t_divide.as_ns();
+  EXPECT_NEAR(st.latency.as_ns(), stage_sum, 1e-6);
+}
+
+TEST(SoftmaxEngine, CostsGrowWithRowLength) {
+  const SoftmaxEngine eng(config_for(fxp::kMrpcFormat));
+  EXPECT_GT(eng.row_latency(256).as_ns(), eng.row_latency(64).as_ns());
+  EXPECT_GT(eng.row_energy(256).as_pJ(), eng.row_energy(64).as_pJ());
+  EXPECT_GT(eng.active_power(128).as_uW(), 0.0);
+  EXPECT_GT(eng.preload_energy().as_nJ(), 0.0);
+}
+
+TEST(SoftmaxEngine, WiderFormatCostsMoreArea) {
+  const SoftmaxEngine small(config_for(fxp::kColaFormat));   // 7-bit
+  const SoftmaxEngine big(config_for(fxp::kMrpcFormat));     // 9-bit
+  EXPECT_GT(big.area().as_um2(), small.area().as_um2());
+}
+
+TEST(SoftmaxEngine, AreaFarBelowCmosBaseline) {
+  const SoftmaxEngine eng(config_for(fxp::kCnewsFormat));
+  const baseline::CmosSoftmaxUnit base(hw::TechNode::n32());
+  const double ratio = eng.area() / base.area();
+  // Paper Table I: 0.06x. Band allows model tolerance.
+  EXPECT_GT(ratio, 0.02);
+  EXPECT_LT(ratio, 0.09);
+}
+
+TEST(SoftmaxEngine, CostSheetListsAllBlocks) {
+  const SoftmaxEngine eng(config_for(fxp::kMrpcFormat));
+  const auto sheet = eng.cost_sheet(128);
+  EXPECT_GE(sheet.items().size(), 6u);
+  const std::string breakdown = sheet.breakdown();
+  EXPECT_NE(breakdown.find("CAM/SUB"), std::string::npos);
+  EXPECT_NE(breakdown.find("LUT"), std::string::npos);
+  EXPECT_NE(breakdown.find("divider"), std::string::npos);
+  EXPECT_NEAR(sheet.total_area().as_um2(), eng.area().as_um2(),
+              eng.area().as_um2() * 0.01);
+}
+
+TEST(SoftmaxEngine, RejectsBadInputs) {
+  SoftmaxEngine eng(config_for(fxp::kCnewsFormat));
+  EXPECT_THROW(eng(std::vector<double>{}), InvalidArgument);
+  EXPECT_THROW(eng.forward_codes(std::vector<std::int64_t>{256}), InvalidArgument);
+  EXPECT_THROW(eng.forward_codes(std::vector<std::int64_t>{-1}), InvalidArgument);
+  EXPECT_THROW((void)eng.row_latency(0), InvalidArgument);
+}
+
+TEST(SoftmaxEngine, SignedFormatRejectedByConfig) {
+  StarConfig cfg;
+  cfg.softmax_format = fxp::make_signed(6, 2);
+  EXPECT_THROW(SoftmaxEngine{cfg}, InvalidArgument);
+}
+
+// Oracle-equivalence sweep across all three paper formats and distributions.
+class EngineOracleSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(EngineOracleSweep, BitConsistentWithOracle) {
+  const auto [ib, fb, seed] = GetParam();
+  const fxp::QFormat fmt = fxp::make_unsigned(ib, fb);
+  SoftmaxEngine eng(config_for(fmt));
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919);
+  const double tol = std::ldexp(1.0, -eng.prob_frac_bits()) * 1.5;
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto row = in_window_row(fmt, 48, rng);
+    const auto oracle = workload::quantized_softmax(row, fmt, eng.lut_frac_bits());
+    const auto got = eng(row);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got[i], oracle[i], tol);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, EngineOracleSweep,
+    ::testing::Combine(::testing::Values(5, 6), ::testing::Values(2, 3),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace star::core

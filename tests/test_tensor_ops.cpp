@@ -1,0 +1,133 @@
+// Tests for the tensor substrate and non-attention ops.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/ops.hpp"
+#include "nn/tensor.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace star::nn {
+namespace {
+
+TEST(Tensor, ConstructionAndIndexing) {
+  Tensor t(2, 3, 1.5);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_DOUBLE_EQ(t.at(1, 2), 1.5);
+  t.at(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(t.at(0, 1), 7.0);
+}
+
+TEST(Tensor, FromRowsAndRaggedRejected) {
+  const auto t = Tensor::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 3.0);
+  EXPECT_THROW(Tensor::from_rows({{1.0}, {2.0, 3.0}}), InvalidArgument);
+  EXPECT_THROW(Tensor::from_rows({}), InvalidArgument);
+}
+
+TEST(Tensor, MatmulMatchesNaive) {
+  Rng rng(10);
+  const auto a = Tensor::randn(7, 5, rng);
+  const auto b = Tensor::randn(5, 9, rng);
+  const auto c = a.matmul(b);
+  ASSERT_EQ(c.rows(), 7u);
+  ASSERT_EQ(c.cols(), 9u);
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = 0; j < 9; ++j) {
+      double expected = 0.0;
+      for (std::size_t k = 0; k < 5; ++k) {
+        expected += a.at(i, k) * b.at(k, j);
+      }
+      EXPECT_NEAR(c.at(i, j), expected, 1e-12);
+    }
+  }
+}
+
+TEST(Tensor, MatmulShapeChecked) {
+  Rng rng(11);
+  const auto a = Tensor::randn(3, 4, rng);
+  const auto b = Tensor::randn(5, 2, rng);
+  EXPECT_THROW(a.matmul(b), InvalidArgument);
+}
+
+TEST(Tensor, TransposeInvolution) {
+  Rng rng(12);
+  const auto a = Tensor::randn(4, 6, rng);
+  const auto att = a.transposed().transposed();
+  EXPECT_DOUBLE_EQ(Tensor::max_abs_diff(a, att), 0.0);
+  EXPECT_DOUBLE_EQ(a.transposed().at(2, 3), a.at(3, 2));
+}
+
+TEST(Tensor, ScaleAndMap) {
+  Tensor t = Tensor::from_rows({{1.0, -2.0}});
+  t.scale(2.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 1), -4.0);
+  const auto abs_t = t.map([](double v) { return std::fabs(v); });
+  EXPECT_DOUBLE_EQ(abs_t.at(0, 1), 4.0);
+}
+
+TEST(Tensor, AddSubtract) {
+  const auto a = Tensor::from_rows({{1.0, 2.0}});
+  const auto b = Tensor::from_rows({{10.0, 20.0}});
+  EXPECT_DOUBLE_EQ((a + b).at(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ((b - a).at(0, 0), 9.0);
+  const auto c = Tensor::from_rows({{1.0}});
+  EXPECT_THROW(a + c, InvalidArgument);
+}
+
+TEST(Tensor, RowSpanAliasesStorage) {
+  Tensor t(2, 3);
+  auto row = t.row(1);
+  row[2] = 42.0;
+  EXPECT_DOUBLE_EQ(t.at(1, 2), 42.0);
+}
+
+TEST(Tensor, RandnMoments) {
+  Rng rng(13);
+  const auto t = Tensor::randn(100, 100, rng, 1.0, 0.5);
+  EXPECT_NEAR(mean(t.flat()), 1.0, 0.02);
+  EXPECT_NEAR(stddev(t.flat()), 0.5, 0.02);
+}
+
+// ---------- ops ----------
+
+TEST(Ops, LayerNormNormalizesRows) {
+  Rng rng(14);
+  const auto x = Tensor::randn(8, 64, rng, 5.0, 3.0);
+  const auto y = layer_norm(x);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    EXPECT_NEAR(mean(y.row(r)), 0.0, 1e-9);
+    EXPECT_NEAR(stddev(y.row(r)), 1.0, 1e-5);
+  }
+}
+
+TEST(Ops, GeluKnownValues) {
+  EXPECT_NEAR(gelu(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(gelu(1.0), 0.8413447460685429, 1e-9);
+  EXPECT_NEAR(gelu(-1.0), -0.15865525393145707, 1e-9);
+  // Large positive ~ identity; large negative ~ 0.
+  EXPECT_NEAR(gelu(10.0), 10.0, 1e-6);
+  EXPECT_NEAR(gelu(-10.0), 0.0, 1e-6);
+}
+
+TEST(Ops, GeluTensorElementwise) {
+  const auto x = Tensor::from_rows({{0.0, 1.0, -1.0}});
+  const auto y = gelu(x);
+  EXPECT_NEAR(y.at(0, 1), gelu(1.0), 1e-12);
+}
+
+TEST(Ops, AddBias) {
+  const auto x = Tensor::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const std::vector<double> bias{10.0, 20.0};
+  const auto y = add_bias(x, bias);
+  EXPECT_DOUBLE_EQ(y.at(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(y.at(1, 1), 24.0);
+  EXPECT_THROW(add_bias(x, std::vector<double>{1.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace star::nn

@@ -1,0 +1,245 @@
+// Tests for the bit-sliced VMM engine, tiles and the matrix mapper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/tech.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "xbar/mapper.hpp"
+#include "xbar/tile.hpp"
+#include "xbar/vmm_engine.hpp"
+
+namespace star::xbar {
+namespace {
+
+const hw::TechNode kTech = hw::TechNode::n32();
+
+VmmConfig ideal_cfg(int rows, int cols, int wbits, int ibits) {
+  VmmConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  cfg.weight_bits = wbits;
+  cfg.input_bits = ibits;
+  cfg.adc_bits = 8;
+  cfg.adc_mux_ratio = 4;
+  cfg.ideal_readout = true;
+  return cfg;
+}
+
+std::vector<std::vector<std::int64_t>> random_weights(Rng& rng, int rows, int cols,
+                                                      int bits) {
+  std::vector<std::vector<std::int64_t>> w(rows, std::vector<std::int64_t>(cols));
+  for (auto& row : w) {
+    for (auto& v : row) {
+      v = rng.uniform_int(0, (1 << bits) - 1);
+    }
+  }
+  return w;
+}
+
+TEST(BitSlicedVmm, IdealReadoutIsBitExact) {
+  Rng rng(1);
+  const auto cfg = ideal_cfg(16, 16, 8, 8);
+  BitSlicedVmm vmm(kTech, RramDevice::ideal(2), cfg);
+  const int lcols = vmm.logical_cols();
+  const auto w = random_weights(rng, 16, lcols, 8);
+  vmm.program_weights(w);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::int64_t> x(16);
+    for (auto& v : x) {
+      v = rng.uniform_int(0, 255);
+    }
+    const auto y = vmm.multiply(x);
+    for (int c = 0; c < lcols; ++c) {
+      std::int64_t expected = 0;
+      for (int r = 0; r < 16; ++r) {
+        expected += x[r] * w[r][c];
+      }
+      EXPECT_EQ(y[c], expected) << "col " << c;
+    }
+  }
+}
+
+TEST(BitSlicedVmm, PartialRowInputsWork) {
+  Rng rng(2);
+  const auto cfg = ideal_cfg(32, 16, 4, 4);
+  BitSlicedVmm vmm(kTech, RramDevice::ideal(2), cfg);
+  const auto w = random_weights(rng, 8, vmm.logical_cols(), 4);  // only 8 rows
+  vmm.program_weights(w);
+  std::vector<std::int64_t> x(8, 3);
+  const auto y = vmm.multiply(x);
+  for (int c = 0; c < vmm.logical_cols(); ++c) {
+    std::int64_t expected = 0;
+    for (int r = 0; r < 8; ++r) {
+      expected += 3 * w[r][c];
+    }
+    EXPECT_EQ(y[c], expected);
+  }
+}
+
+TEST(BitSlicedVmm, NarrowAdcIntroducesBoundedError) {
+  Rng rng(3);
+  VmmConfig cfg = ideal_cfg(64, 16, 8, 8);
+  cfg.ideal_readout = false;
+  cfg.adc_bits = 5;
+  cfg.adc_full_scale_frac = 0.5;
+  BitSlicedVmm vmm(kTech, RramDevice::ideal(2), cfg);
+  const auto w = random_weights(rng, 64, vmm.logical_cols(), 8);
+  vmm.program_weights(w);
+
+  double rel_err_acc = 0.0;
+  int n = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::int64_t> x(64);
+    for (auto& v : x) {
+      v = rng.uniform_int(0, 255);
+    }
+    const auto y = vmm.multiply(x);
+    for (int c = 0; c < vmm.logical_cols(); ++c) {
+      std::int64_t expected = 0;
+      for (int r = 0; r < 64; ++r) {
+        expected += x[r] * w[r][c];
+      }
+      if (expected > 0) {
+        rel_err_acc += std::fabs(static_cast<double>(y[c] - expected)) /
+                       static_cast<double>(expected);
+        ++n;
+      }
+    }
+  }
+  const double mean_rel_err = rel_err_acc / n;
+  EXPECT_GT(mean_rel_err, 0.0);   // quantisation is visible...
+  EXPECT_LT(mean_rel_err, 0.25);  // ...but bounded
+}
+
+TEST(BitSlicedVmm, DeviceNoisePerturbsResults) {
+  Rng rng(4);
+  const auto cfg = ideal_cfg(32, 16, 8, 8);
+  BitSlicedVmm ideal(kTech, RramDevice::ideal(2), cfg, Rng(7));
+  BitSlicedVmm noisy(kTech, RramDevice::noisy(2, 0.05, 0.02), cfg, Rng(7));
+  const auto w = random_weights(rng, 32, ideal.logical_cols(), 8);
+  ideal.program_weights(w);
+  noisy.program_weights(w);
+  std::vector<std::int64_t> x(32, 200);
+  const auto yi = ideal.multiply(x);
+  const auto yn = noisy.multiply(x);
+  bool any_diff = false;
+  for (std::size_t c = 0; c < yi.size(); ++c) {
+    if (yi[c] != yn[c]) {
+      any_diff = true;
+    }
+    // Still within a few percent.
+    EXPECT_NEAR(static_cast<double>(yn[c]), static_cast<double>(yi[c]),
+                0.1 * static_cast<double>(yi[c]) + 50.0);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BitSlicedVmm, CostsBehave) {
+  const auto cfg = ideal_cfg(128, 128, 8, 8);
+  BitSlicedVmm vmm(kTech, RramDevice::ideal(2), cfg);
+  EXPECT_GT(vmm.op_energy(128).as_pJ(), vmm.op_energy(16).as_pJ());
+  EXPECT_GT(vmm.op_latency().as_ns(), 0.0);
+  EXPECT_GT(vmm.area().as_um2(), 0.0);
+  // Programming costs require programmed rows.
+  Rng rng(5);
+  const auto w = random_weights(rng, 64, vmm.logical_cols(), 8);
+  vmm.program_weights(w);
+  EXPECT_GT(vmm.program_energy().as_nJ(), 0.0);
+  EXPECT_GT(vmm.program_latency().as_ns(), 0.0);
+}
+
+TEST(BitSlicedVmm, InputValidation) {
+  const auto cfg = ideal_cfg(16, 16, 8, 4);
+  BitSlicedVmm vmm(kTech, RramDevice::ideal(2), cfg);
+  EXPECT_THROW(vmm.multiply(std::vector<std::int64_t>(17, 0)), InvalidArgument);
+  EXPECT_THROW(vmm.multiply(std::vector<std::int64_t>{16}), InvalidArgument);  // > 4 bits
+  EXPECT_THROW(vmm.multiply(std::vector<std::int64_t>{-1}), InvalidArgument);
+  std::vector<std::vector<std::int64_t>> bad(1, std::vector<std::int64_t>(3, 0));
+  EXPECT_THROW(vmm.program_weights(bad), InvalidArgument);
+}
+
+// ---------- tile ----------
+
+TEST(XbarTile, AddsBufferCostsOnTop) {
+  const auto cfg = ideal_cfg(128, 128, 8, 8);
+  XbarTile tile(kTech, RramDevice::ideal(2), cfg);
+  EXPECT_GT(tile.area().as_um2(), tile.vmm().area().as_um2());
+  EXPECT_GT(tile.op_energy(128).as_pJ(), tile.vmm().op_energy(128).as_pJ());
+  EXPECT_GT(tile.op_latency().as_ns(), tile.vmm().op_latency().as_ns());
+  EXPECT_GT(tile.leakage().as_uW(), 0.0);
+}
+
+// ---------- mapper ----------
+
+TEST(Mapper, GridDimensions) {
+  const Mapper m(128, 32, 4);
+  const auto g = m.grid_for(768, 768);
+  EXPECT_EQ(g.row_tiles, 6);
+  EXPECT_EQ(g.col_tiles, 24);
+  EXPECT_EQ(g.total(), 144);
+  const auto g2 = m.grid_for(64, 128);
+  EXPECT_EQ(g2.row_tiles, 1);
+  EXPECT_EQ(g2.col_tiles, 4);
+}
+
+TEST(Mapper, StaticMappingCountsOps) {
+  const Mapper m(128, 32, 4);
+  const auto mc = m.map_static(128, 768, 768);
+  EXPECT_EQ(mc.vmm_invocations, 128 * 144);
+  EXPECT_EQ(mc.cell_writes, 0);
+  EXPECT_DOUBLE_EQ(mc.mac_ops, 128.0 * 768.0 * 768.0);
+}
+
+TEST(Mapper, DynamicMappingAddsWrites) {
+  const Mapper m(128, 32, 4);
+  const auto mc = m.map_dynamic(128, 64, 128);
+  EXPECT_EQ(mc.cell_writes, 64 * 128 * 4);
+  EXPECT_EQ(mc.vmm_invocations, m.map_static(128, 64, 128).vmm_invocations);
+}
+
+TEST(Mapper, RejectsBadDims) {
+  const Mapper m(128, 32, 4);
+  EXPECT_THROW((void)m.grid_for(0, 5), InvalidArgument);
+  EXPECT_THROW((void)m.map_static(0, 5, 5), InvalidArgument);
+  EXPECT_THROW(Mapper(0, 32, 4), InvalidArgument);
+}
+
+// Parameterized exactness sweep across geometries and precisions.
+class VmmExactnessSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(VmmExactnessSweep, IdealBitExact) {
+  const auto [rows, wbits, ibits, cell_bits] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(rows * 1000 + wbits * 100 + ibits * 10 + cell_bits));
+  VmmConfig cfg = ideal_cfg(rows, 16, wbits, ibits);
+  const RramDevice dev = RramDevice::ideal(cell_bits);
+  const int slices = cfg.slices(cell_bits);
+  cfg.cols = 16 * slices;  // keep 16 logical columns
+  BitSlicedVmm vmm(kTech, dev, cfg);
+  const auto w = random_weights(rng, rows, vmm.logical_cols(), wbits);
+  vmm.program_weights(w);
+
+  std::vector<std::int64_t> x(rows);
+  for (auto& v : x) {
+    v = rng.uniform_int(0, (1 << ibits) - 1);
+  }
+  const auto y = vmm.multiply(x);
+  for (int c = 0; c < vmm.logical_cols(); ++c) {
+    std::int64_t expected = 0;
+    for (int r = 0; r < rows; ++r) {
+      expected += x[r] * w[r][c];
+    }
+    EXPECT_EQ(y[c], expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, VmmExactnessSweep,
+    ::testing::Combine(::testing::Values(8, 32, 128), ::testing::Values(4, 8),
+                       ::testing::Values(2, 8), ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace star::xbar

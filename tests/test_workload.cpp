@@ -1,0 +1,194 @@
+// Tests for the dataset profiles, trace generators and the bitwidth study —
+// including the headline reproduction of the paper's 8/9/7-bit findings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/attention.hpp"
+#include "nn/softmax_ref.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "workload/accuracy_proxy.hpp"
+#include "workload/dataset_profile.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace star::workload {
+namespace {
+
+TEST(DatasetProfile, ThreeDatasetsDefined) {
+  const auto all = DatasetProfile::all();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].name, "CNEWS");
+  EXPECT_EQ(all[1].name, "MRPC");
+  EXPECT_EQ(all[2].name, "CoLA");
+}
+
+TEST(DatasetProfile, SpreadRespectsClamp) {
+  Rng rng(1);
+  for (const auto& p : DatasetProfile::all()) {
+    for (int trial = 0; trial < 50; ++trial) {
+      const auto row = p.sample_row(128, rng);
+      const double mx = *std::max_element(row.begin(), row.end());
+      const double mn = *std::min_element(row.begin(), row.end());
+      EXPECT_LE(mx - mn, p.max_spread + 1e-9) << p.name;
+      EXPECT_GE(mx - mn, 0.0);
+    }
+  }
+}
+
+TEST(DatasetProfile, DeterministicGivenSeed) {
+  const auto p = DatasetProfile::cnews();
+  Rng a(42), b(42);
+  EXPECT_EQ(p.sample_row(64, a), p.sample_row(64, b));
+}
+
+TEST(DatasetProfile, ColaSpreadFitsFiveIntegerBits) {
+  const auto p = DatasetProfile::cola();
+  Rng rng(2);
+  double worst = 0.0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto row = p.sample_row(128, rng);
+    const double mx = *std::max_element(row.begin(), row.end());
+    const double mn = *std::min_element(row.begin(), row.end());
+    worst = std::max(worst, mx - mn);
+  }
+  EXPECT_LT(worst, 32.0);
+  EXPECT_GT(worst, 16.0);  // and needs all five bits
+}
+
+TEST(DatasetProfile, CnewsAndMrpcNeedSixIntegerBits) {
+  Rng rng(3);
+  for (const auto& p : {DatasetProfile::cnews(), DatasetProfile::mrpc()}) {
+    double worst = 0.0;
+    for (int trial = 0; trial < 200; ++trial) {
+      const auto row = p.sample_row(128, rng);
+      const double mx = *std::max_element(row.begin(), row.end());
+      const double mn = *std::min_element(row.begin(), row.end());
+      worst = std::max(worst, mx - mn);
+    }
+    EXPECT_GT(worst, 32.0) << p.name;
+    EXPECT_LT(worst, 64.0) << p.name;
+  }
+}
+
+TEST(TraceGen, ScoreBatchShape) {
+  Rng rng(4);
+  const auto batch = score_batch(DatasetProfile::cnews(), 10, 32, rng);
+  ASSERT_EQ(batch.size(), 10u);
+  EXPECT_EQ(batch[0].size(), 32u);
+  EXPECT_GT(max_spread(batch), 0.0);
+}
+
+TEST(TraceGen, QkvScoreStdApproximatelyControlled) {
+  Rng rng(5);
+  const auto t = random_qkv(64, 64, 4.0, rng);
+  const auto s = nn::attention_scores(t.q, t.k);
+  EXPECT_NEAR(stddev(s.flat()), 4.0, 1.5);
+}
+
+// ---------- quantized softmax oracle ----------
+
+TEST(QuantizedSoftmax, NormalisedAndOrderPreserving) {
+  Rng rng(6);
+  const auto p = DatasetProfile::cnews();
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto row = p.sample_row(64, rng);
+    const auto q = quantized_softmax(row, fxp::kCnewsFormat, 11);
+    double sum = 0.0;
+    for (double v : q) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(QuantizedSoftmax, ApproachesExactWithWideFormat) {
+  Rng rng(7);
+  const auto row = DatasetProfile::cola().sample_row(64, rng);
+  const auto exact = nn::softmax(row);
+  const auto q = quantized_softmax(row, fxp::make_unsigned(6, 6), 24);
+  EXPECT_LT(max_abs_diff(exact, q), 2e-3);
+}
+
+TEST(QuantizedSoftmax, DegenerateUnderflowGivesUniform) {
+  // All elements far below the max except one... make ALL equal and deep:
+  // with a 1-fraction-bit LUT every exponent of a >1 magnitude underflows.
+  const std::vector<double> row{-100.0, -100.0, -100.0, -100.0};
+  const auto q = quantized_softmax(row, fxp::make_unsigned(6, 2), 11);
+  // Equal inputs match the same code: this is NOT underflow (mag = 0).
+  EXPECT_NEAR(q[0], 0.25, 1e-9);
+}
+
+TEST(QuantizedSoftmax, RejectsSignedFormats) {
+  EXPECT_THROW(
+      quantized_softmax(std::vector<double>{1.0}, fxp::make_signed(5, 2), 11),
+      InvalidArgument);
+}
+
+// ---------- the paper's bitwidth findings (Section II) ----------
+
+TEST(BitwidthStudy, CnewsRequiresEightBits) {
+  const auto r = required_bitwidth(DatasetProfile::cnews());
+  EXPECT_EQ(r.int_bits, 6);
+  EXPECT_EQ(r.frac_bits, 2);
+  EXPECT_EQ(r.total_bits(), 8);
+}
+
+TEST(BitwidthStudy, MrpcRequiresNineBits) {
+  const auto r = required_bitwidth(DatasetProfile::mrpc());
+  EXPECT_EQ(r.int_bits, 6);
+  EXPECT_EQ(r.frac_bits, 3);
+  EXPECT_EQ(r.total_bits(), 9);
+}
+
+TEST(BitwidthStudy, ColaRequiresSevenBits) {
+  const auto r = required_bitwidth(DatasetProfile::cola());
+  EXPECT_EQ(r.int_bits, 5);
+  EXPECT_EQ(r.frac_bits, 2);
+  EXPECT_EQ(r.total_bits(), 7);
+}
+
+TEST(BitwidthStudy, MatchesProfileExpectations) {
+  for (const auto& p : DatasetProfile::all()) {
+    const auto r = required_bitwidth(p);
+    EXPECT_EQ(r.int_bits, p.expected_int_bits) << p.name;
+    EXPECT_EQ(r.frac_bits, p.expected_frac_bits) << p.name;
+  }
+}
+
+TEST(ProxyMetrics, AgreementImprovesWithFracBits) {
+  const auto p = DatasetProfile::mrpc();
+  double prev = 0.0;
+  for (int f = 1; f <= 4; ++f) {
+    const auto m = evaluate_format(p, fxp::make_unsigned(6, f));
+    EXPECT_GE(m.top1_agreement, prev - 0.02);  // allow tiny sampling noise
+    prev = m.top1_agreement;
+  }
+}
+
+TEST(ProxyMetrics, RmseHalvesPerFracBit) {
+  const auto p = DatasetProfile::cnews();
+  const auto coarse = evaluate_format(p, fxp::make_unsigned(6, 1));
+  const auto fine = evaluate_format(p, fxp::make_unsigned(6, 3));
+  EXPECT_GT(coarse.prob_rmse, 2.0 * fine.prob_rmse);
+}
+
+TEST(ProxyMetrics, DeterministicGivenSeed) {
+  const auto p = DatasetProfile::cola();
+  const auto a = evaluate_format(p, fxp::kColaFormat);
+  const auto b = evaluate_format(p, fxp::kColaFormat);
+  EXPECT_DOUBLE_EQ(a.mean_kl, b.mean_kl);
+  EXPECT_DOUBLE_EQ(a.top1_agreement, b.top1_agreement);
+}
+
+TEST(DefaultLutFracBits, TracksOperandWidthWithCap) {
+  EXPECT_EQ(default_lut_frac_bits(fxp::kCnewsFormat), 11);
+  EXPECT_EQ(default_lut_frac_bits(fxp::kMrpcFormat), 12);
+  EXPECT_EQ(default_lut_frac_bits(fxp::make_unsigned(10, 4)), 15);  // capped
+}
+
+}  // namespace
+}  // namespace star::workload
