@@ -87,7 +87,7 @@ class StarAccelerator {
   StarConfig cfg_;
   SystemOverheads overheads_;
   MatmulEngine matmul_;
-  mutable SoftmaxEngine softmax_;
+  SoftmaxEngine softmax_;
 };
 
 }  // namespace star::core

@@ -1,0 +1,57 @@
+#include "core/batch_encoder.hpp"
+
+#include "util/status.hpp"
+
+namespace star::core {
+
+namespace {
+
+nn::EncoderLayerWeights make_weights(const nn::BertConfig& bert,
+                                     std::uint64_t weight_seed) {
+  Rng rng(weight_seed);
+  return nn::EncoderLayerWeights::random(bert, rng);
+}
+
+}  // namespace
+
+BatchEncoderSim::BatchEncoderSim(const StarConfig& cfg, const nn::BertConfig& bert,
+                                 std::uint64_t weight_seed)
+    : bert_(bert),
+      accel_(cfg),
+      weights_(make_weights(bert, weight_seed)) {
+  bert_.validate();
+}
+
+std::vector<nn::Tensor> BatchEncoderSim::run_encoder_batch(
+    std::span<const nn::Tensor> inputs, sim::BatchScheduler& sched,
+    std::uint64_t run_seed) const {
+  for (const auto& x : inputs) {
+    require(x.cols() == static_cast<std::size_t>(bert_.d_model),
+            "run_encoder_batch: input width must equal d_model");
+  }
+  const auto seeds = workload::sequence_seeds(inputs.size(), run_seed);
+  return sched.map<nn::Tensor>(inputs.size(), [&](std::size_t i) {
+    SoftmaxEngineView view(softmax_engine(), seeds[i]);
+    return nn::encoder_layer_forward(inputs[i], weights_, view);
+  });
+}
+
+std::vector<FunctionalAttentionResult> BatchEncoderSim::run_attention_batch(
+    std::span<const workload::QkvTriple> qkv, sim::BatchScheduler& sched,
+    std::uint64_t run_seed) const {
+  const auto seeds = workload::sequence_seeds(qkv.size(), run_seed);
+  return sched.map<FunctionalAttentionResult>(qkv.size(), [&](std::size_t i) {
+    SoftmaxRunState run(seeds[i]);
+    return attention_on_star(qkv[i].q, qkv[i].k, qkv[i].v, matmul_engine(),
+                             softmax_engine(), run);
+  });
+}
+
+std::vector<AttentionRunResult> BatchEncoderSim::run_analytic_batch(
+    std::span<const std::int64_t> seq_lens, sim::BatchScheduler& sched) const {
+  return sched.map<AttentionRunResult>(seq_lens.size(), [&](std::size_t i) {
+    return accel_.run_attention_layer(bert_, seq_lens[i]);
+  });
+}
+
+}  // namespace star::core

@@ -1,0 +1,69 @@
+// Batched multi-threaded encoder/attention simulation.
+//
+// One immutable model — StarConfig geometry, encoder weights, the
+// functional SoftmaxEngine and MatmulEngine, the analytic StarAccelerator —
+// serves B independent sequences concurrently (the cuBERT serving shape:
+// one model, many request streams). Everything mutable lives per sequence:
+// a SoftmaxRunState (fault RNG + row stats) and the sequence's result slot.
+//
+// Determinism contract: outputs are bit-identical to running the same
+// sequences one-by-one, for every thread count. Sequence i's work depends
+// only on (inputs[i], per-sequence seed i); the BatchScheduler only decides
+// *when* each sequence runs, never *what* it computes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "core/functional_attention.hpp"
+#include "nn/bert.hpp"
+#include "sim/batch_scheduler.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace star::core {
+
+class BatchEncoderSim {
+ public:
+  /// Builds the shared model state: engines from `cfg`, one encoder layer
+  /// of random weights from `weight_seed`.
+  BatchEncoderSim(const StarConfig& cfg, const nn::BertConfig& bert,
+                  std::uint64_t weight_seed = 0xB127);
+
+  /// Functional path: out[i] = encoder_layer_forward(inputs[i]) with the
+  /// STAR crossbar softmax. `run_seed` derives each sequence's fault-RNG
+  /// stream (relevant only when cfg.cam_miss_prob > 0).
+  [[nodiscard]] std::vector<nn::Tensor> run_encoder_batch(
+      std::span<const nn::Tensor> inputs, sim::BatchScheduler& sched,
+      std::uint64_t run_seed = 0x5EED) const;
+
+  /// Full-hardware attention path: out[i] = attention_on_star(qkv[i]) with
+  /// both matmuls on the crossbar MatMul engine.
+  [[nodiscard]] std::vector<FunctionalAttentionResult> run_attention_batch(
+      std::span<const workload::QkvTriple> qkv, sim::BatchScheduler& sched,
+      std::uint64_t run_seed = 0x5EED) const;
+
+  /// Analytic path: per-sequence latency/energy/power of one attention
+  /// layer at each sequence's length (lengths may differ across the batch).
+  [[nodiscard]] std::vector<AttentionRunResult> run_analytic_batch(
+      std::span<const std::int64_t> seq_lens, sim::BatchScheduler& sched) const;
+
+  [[nodiscard]] const StarConfig& config() const { return accel_.config(); }
+  [[nodiscard]] const nn::BertConfig& bert() const { return bert_; }
+  [[nodiscard]] const nn::EncoderLayerWeights& weights() const { return weights_; }
+  [[nodiscard]] const StarAccelerator& accelerator() const { return accel_; }
+  [[nodiscard]] const SoftmaxEngine& softmax_engine() const {
+    return accel_.softmax_engine();
+  }
+  [[nodiscard]] const MatmulEngine& matmul_engine() const {
+    return accel_.matmul_engine();
+  }
+
+ private:
+  nn::BertConfig bert_;
+  StarAccelerator accel_;  ///< owns the one shared engine pair
+  nn::EncoderLayerWeights weights_;
+};
+
+}  // namespace star::core

@@ -22,6 +22,16 @@ FunctionalAttentionResult attention_on_star(const nn::Tensor& q, const nn::Tenso
                                             const nn::Tensor& v, MatmulEngine& matmul,
                                             SoftmaxEngine& softmax_engine);
 
+/// Thread-safe variant: the engines are shared read-only hardware models;
+/// every per-run mutation lands in the caller's `run` state. Many sequences
+/// may run concurrently against the same two engines, one SoftmaxRunState
+/// each.
+FunctionalAttentionResult attention_on_star(const nn::Tensor& q, const nn::Tensor& k,
+                                            const nn::Tensor& v,
+                                            const MatmulEngine& matmul,
+                                            const SoftmaxEngine& softmax_engine,
+                                            SoftmaxRunState& run);
+
 /// Convenience wrapper building both engines from one config.
 FunctionalAttentionResult attention_on_star(const nn::Tensor& q, const nn::Tensor& k,
                                             const nn::Tensor& v,

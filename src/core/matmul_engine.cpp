@@ -39,7 +39,7 @@ MatmulEngine::MatmulEngine(const StarConfig& cfg)
   cfg_.validate();
 }
 
-nn::Tensor MatmulEngine::multiply(const nn::Tensor& x, const nn::Tensor& w) {
+nn::Tensor MatmulEngine::multiply(const nn::Tensor& x, const nn::Tensor& w) const {
   require(x.cols() == w.rows(), "MatmulEngine::multiply: inner dimension mismatch");
 
   // --- quantise ---

@@ -41,7 +41,8 @@ class MatmulEngine {
   /// Quantisation-aware functional multiply: x (B x M) * w (M x N).
   /// Routed through real BitSlicedVmm tiles; intended for accuracy studies
   /// on moderate shapes (the analytic face covers BERT-scale shapes).
-  [[nodiscard]] nn::Tensor multiply(const nn::Tensor& x, const nn::Tensor& w);
+  /// All tile state is per-call, so a shared engine is thread-safe here.
+  [[nodiscard]] nn::Tensor multiply(const nn::Tensor& x, const nn::Tensor& w) const;
 
   /// Analytic cost of x (B x M) * W (M x N); `dynamic_matrix` adds the
   /// cost of programming W first (the PipeLayer-vs-ReTransformer divide).

@@ -94,6 +94,11 @@ SoftmaxEngine::SoftmaxEngine(const StarConfig& cfg)
 
 std::vector<std::int64_t> SoftmaxEngine::forward_codes(
     std::span<const std::int64_t> codes) {
+  return forward_codes(codes, run_);
+}
+
+std::vector<std::int64_t> SoftmaxEngine::forward_codes(
+    std::span<const std::int64_t> codes, SoftmaxRunState& run) const {
   require(!codes.empty(), "SoftmaxEngine::forward_codes: empty row");
   const std::int64_t code_max_allowed = (std::int64_t{1} << fmt_.total_bits()) - 1;
   for (const auto c : codes) {
@@ -102,25 +107,31 @@ std::vector<std::int64_t> SoftmaxEngine::forward_codes(
   }
 
   // Stage 1: CAM/SUB — max find, then subtraction (Fig. 1).
-  const xbar::MaxFindResult mf = cam_sub_.find_max(codes, cfg_.cam_miss_prob);
+  const xbar::MaxFindResult mf = cam_sub_.find_max(codes, cfg_.cam_miss_prob, run.rng);
   const std::vector<std::int64_t> diffs = cam_sub_.subtract_all(mf, codes);
 
   // Stage 2: exponential via CAM search + LUT read, counters accumulate the
-  // match histogram (Fig. 2).
-  counters_.reset();
+  // match histogram (Fig. 2). The counter array is per-run state: each
+  // stream clones the prototype once, so concurrent rows through a shared
+  // engine never collide and the per-row cost is a reset, not an allocation.
+  if (!run.counters) {
+    run.counters.emplace(counters_);
+  }
+  hw::CounterArray& counters = *run.counters;
+  counters.reset();
   std::vector<std::int64_t> e_words(codes.size(), 0);
   for (std::size_t i = 0; i < codes.size(); ++i) {
     const std::int64_t mag = -diffs[i];
     if (mag < exp_cam_.rows()) {
-      const auto match = exp_cam_.search(mag, cfg_.cam_miss_prob);
+      const auto match = exp_cam_.search(mag, cfg_.cam_miss_prob, run.rng);
       e_words[i] = exp_lut_.read(match);
-      counters_.accumulate(match);
+      counters.accumulate(match);
     }
     // else: no matchline rises; e_word stays 0 and the counters hold.
   }
 
   // Stage 3: summation VMM (counter histogram . stored table).
-  const std::int64_t denom = summation_vmm(counters_.counts());
+  const std::int64_t denom = summation_vmm(counters.counts());
 
   // Stage 4: division.
   std::vector<std::int64_t> probs(codes.size());
@@ -128,11 +139,16 @@ std::vector<std::int64_t> SoftmaxEngine::forward_codes(
     probs[i] = divider_.divide(e_words[i], denom, prob_frac_bits_);
   }
 
-  charge_row(static_cast<int>(codes.size()));
+  run.last_stats = compute_row_stats(static_cast<int>(codes.size()));
   return probs;
 }
 
 std::vector<double> SoftmaxEngine::operator()(std::span<const double> x) {
+  return softmax_row(x, run_);
+}
+
+std::vector<double> SoftmaxEngine::softmax_row(std::span<const double> x,
+                                               SoftmaxRunState& run) const {
   require(!x.empty(), "SoftmaxEngine: empty row");
 
   // Input conditioning: scores arrive as biased-signed fixed point —
@@ -147,7 +163,7 @@ std::vector<double> SoftmaxEngine::operator()(std::span<const double> x) {
     codes[i] = std::clamp<std::int64_t>(c, 0, top);
   }
 
-  const auto prob_codes = forward_codes(codes);
+  const auto prob_codes = forward_codes(codes, run);
   std::vector<double> p(x.size());
   const double inv = std::ldexp(1.0, -prob_frac_bits_);
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -168,7 +184,7 @@ std::int64_t SoftmaxEngine::summation_vmm(std::span<const std::int64_t> counts) 
   return acc;
 }
 
-void SoftmaxEngine::charge_row(int d) {
+SoftmaxRowStats SoftmaxEngine::compute_row_stats(int d) const {
   SoftmaxRowStats s;
   s.elements = d;
   s.t_maxfind = cam_sub_.maxfind_latency(d);
@@ -196,7 +212,7 @@ void SoftmaxEngine::charge_row(int d) {
 
   s.latency = s.t_maxfind + s.t_subtract + s.t_exp + s.t_sum + s.t_divide;
   s.energy = s.e_maxfind + s.e_subtract + s.e_exp + s.e_sum + s.e_divide + e_buffers;
-  last_stats_ = s;
+  return s;
 }
 
 Area SoftmaxEngine::area() const {
@@ -214,22 +230,12 @@ Power SoftmaxEngine::leakage() const {
 
 Time SoftmaxEngine::row_latency(int d) const {
   require(d >= 1, "SoftmaxEngine::row_latency: d must be >= 1");
-  SoftmaxEngine& self = const_cast<SoftmaxEngine&>(*this);
-  SoftmaxRowStats saved = last_stats_;
-  self.charge_row(d);
-  const Time t = last_stats_.latency;
-  self.last_stats_ = saved;
-  return t;
+  return compute_row_stats(d).latency;
 }
 
 Energy SoftmaxEngine::row_energy(int d) const {
   require(d >= 1, "SoftmaxEngine::row_energy: d must be >= 1");
-  SoftmaxEngine& self = const_cast<SoftmaxEngine&>(*this);
-  SoftmaxRowStats saved = last_stats_;
-  self.charge_row(d);
-  const Energy e = last_stats_.energy;
-  self.last_stats_ = saved;
-  return e;
+  return compute_row_stats(d).energy;
 }
 
 Power SoftmaxEngine::active_power(int d) const {

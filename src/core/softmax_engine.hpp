@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -46,6 +47,19 @@ struct SoftmaxRowStats {
   Energy e_maxfind{}, e_subtract{}, e_exp{}, e_sum{}, e_divide{};
 };
 
+/// Per-run mutable state of one stream through a (shared, read-only)
+/// SoftmaxEngine: the fault-injection RNG stream and the last-row cost
+/// record. Each concurrent sequence owns one; the engine itself is never
+/// mutated on the const datapath.
+struct SoftmaxRunState {
+  explicit SoftmaxRunState(std::uint64_t seed = 0xCA3) : rng(seed) {}
+  Rng rng;
+  SoftmaxRowStats last_stats;
+  /// Per-run counter array, cloned from the engine's prototype on first
+  /// use and reset per row (so the hot loop never allocates).
+  std::optional<hw::CounterArray> counters;
+};
+
 class SoftmaxEngine final : public nn::RowSoftmax {
  public:
   explicit SoftmaxEngine(const StarConfig& cfg);
@@ -62,6 +76,15 @@ class SoftmaxEngine final : public nn::RowSoftmax {
   [[nodiscard]] std::vector<std::int64_t> forward_codes(
       std::span<const std::int64_t> codes);
 
+  // --- thread-safe const datapath (shared engine, per-run state) ---
+  /// Same as operator(), but against `*this` as shared read-only hardware:
+  /// all mutation (fault RNG draws, row stats) lands in `run`. Safe to call
+  /// concurrently from many threads, one SoftmaxRunState per thread.
+  [[nodiscard]] std::vector<double> softmax_row(std::span<const double> x,
+                                                SoftmaxRunState& run) const;
+  [[nodiscard]] std::vector<std::int64_t> forward_codes(
+      std::span<const std::int64_t> codes, SoftmaxRunState& run) const;
+
   // --- formats ---
   [[nodiscard]] const fxp::QFormat& format() const { return fmt_; }
   [[nodiscard]] int lut_frac_bits() const { return lut_frac_bits_; }
@@ -75,14 +98,15 @@ class SoftmaxEngine final : public nn::RowSoftmax {
   [[nodiscard]] Power active_power(int d) const;
   [[nodiscard]] Time row_latency(int d) const;
   [[nodiscard]] Energy row_energy(int d) const;
-  [[nodiscard]] const SoftmaxRowStats& row_stats() const { return last_stats_; }
+  [[nodiscard]] const SoftmaxRowStats& row_stats() const { return run_.last_stats; }
+  /// Full cost record of one row of length d (pure; thread-safe).
+  [[nodiscard]] SoftmaxRowStats compute_row_stats(int d) const;
   /// One-time table preload cost (CAM/SUB codes, exp table, sum table).
   [[nodiscard]] Energy preload_energy() const;
   [[nodiscard]] hw::CostSheet cost_sheet(int d) const;
 
  private:
   [[nodiscard]] std::int64_t summation_vmm(std::span<const std::int64_t> counts) const;
-  void charge_row(int d);
 
   StarConfig cfg_;
   fxp::QFormat fmt_;
@@ -103,7 +127,29 @@ class SoftmaxEngine final : public nn::RowSoftmax {
   hw::Sram out_buf_;
   hw::Cost control_;
 
-  SoftmaxRowStats last_stats_;
+  // Legacy single-stream state backing the non-const entry points; the
+  // const datapath never touches it.
+  SoftmaxRunState run_;
+};
+
+/// RowSoftmax adapter binding a shared const SoftmaxEngine to a private
+/// SoftmaxRunState. Each concurrent sequence constructs one (with its own
+/// seed) and hands it to the functional attention/encoder code.
+class SoftmaxEngineView final : public nn::RowSoftmax {
+ public:
+  SoftmaxEngineView(const SoftmaxEngine& engine, std::uint64_t seed)
+      : engine_(&engine), run_(seed) {}
+
+  [[nodiscard]] std::vector<double> operator()(std::span<const double> x) override {
+    return engine_->softmax_row(x, run_);
+  }
+  [[nodiscard]] const char* name() const override { return "star-crossbar-view"; }
+  [[nodiscard]] const SoftmaxRunState& run_state() const { return run_; }
+  [[nodiscard]] SoftmaxRunState& run_state() { return run_; }
+
+ private:
+  const SoftmaxEngine* engine_;
+  SoftmaxRunState run_;
 };
 
 }  // namespace star::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "util/status.hpp"
 
@@ -124,6 +125,12 @@ double Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {
     worst = std::max(worst, std::fabs(a.data_[i] - b.data_[i]));
   }
   return worst;
+}
+
+bool Tensor::bit_identical(const Tensor& a, const Tensor& b) {
+  return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+         std::memcmp(a.data_.data(), b.data_.data(),
+                     a.data_.size() * sizeof(double)) == 0;
 }
 
 }  // namespace star::nn

@@ -56,6 +56,11 @@ class Tensor {
   /// max |a - b| over all elements (shape-checked).
   static double max_abs_diff(const Tensor& a, const Tensor& b);
 
+  /// Same shape and byte-for-byte equal storage (the determinism check of
+  /// the batched simulation: memcmp, so NaN payloads and signed zeros must
+  /// match exactly too).
+  static bool bit_identical(const Tensor& a, const Tensor& b);
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;

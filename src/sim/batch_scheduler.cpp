@@ -1,0 +1,138 @@
+#include "sim/batch_scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace star::sim {
+
+BatchScheduler::BatchScheduler(int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  threads_ = threads;
+  // threads == 1 runs inline on the caller; no pool at all.
+  for (int t = 0; t + 1 < threads_; ++t) {
+    pool_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+BatchScheduler::~BatchScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : pool_) {
+    t.join();
+  }
+}
+
+void BatchScheduler::run(std::size_t n, const std::function<void(std::size_t)>& job) {
+  require(static_cast<bool>(job), "BatchScheduler::run: job must be callable");
+  if (n == 0) {
+    return;
+  }
+
+  if (threads_ == 1) {
+    // Same contract as the pooled path: every job runs, then the
+    // lowest-index failure (here simply the first) surfaces.
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        job(i);
+      } catch (...) {
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+    if (first_error) {
+      std::rethrow_exception(first_error);
+    }
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    batch_size_ = n;
+    next_index_ = 0;
+    in_flight_ = 0;
+    first_error_ = nullptr;
+    first_error_index_ = 0;
+    ++batch_id_;
+  }
+  work_cv_.notify_all();
+
+  // The caller is a worker too: claim indices until the queue drains.
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (next_index_ >= batch_size_) {
+      break;
+    }
+    const std::size_t i = next_index_++;
+    ++in_flight_;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      job(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    --in_flight_;
+    if (err && (!first_error_ || i < first_error_index_)) {
+      first_error_ = err;
+      first_error_index_ = i;
+    }
+  }
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  job_ = nullptr;
+  const std::exception_ptr err = first_error_;
+  first_error_ = nullptr;
+  lock.unlock();
+
+  if (err) {
+    std::rethrow_exception(err);
+  }
+}
+
+void BatchScheduler::worker_loop() {
+  std::uint64_t seen_batch = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return shutting_down_ || (batch_id_ != seen_batch && job_ != nullptr &&
+                                next_index_ < batch_size_);
+    });
+    if (shutting_down_) {
+      return;
+    }
+    const std::uint64_t batch = batch_id_;
+    const std::function<void(std::size_t)>* job = job_;
+    while (job_ == job && batch_id_ == batch && next_index_ < batch_size_) {
+      const std::size_t i = next_index_++;
+      ++in_flight_;
+      lock.unlock();
+      std::exception_ptr err;
+      try {
+        (*job)(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lock.lock();
+      --in_flight_;
+      if (err && (!first_error_ || i < first_error_index_)) {
+        first_error_ = err;
+        first_error_index_ = i;
+      }
+      if (in_flight_ == 0 && next_index_ >= batch_size_) {
+        done_cv_.notify_all();
+      }
+    }
+    seen_batch = batch;
+  }
+}
+
+}  // namespace star::sim

@@ -15,14 +15,17 @@ double PipelineResult::bottleneck_util() const {
 }
 
 PipelineResult simulate(const std::vector<Stage>& stages, std::size_t items,
-                        Discipline discipline, const std::vector<double>& service_scale) {
+                        Discipline discipline, const std::vector<double>& service_scale,
+                        const SimOptions& options) {
   require(!stages.empty(), "simulate: at least one stage required");
   require(service_scale.empty() || service_scale.size() == items,
           "simulate: service_scale must be empty or one entry per item");
 
   const std::size_t k = stages.size();
   PipelineResult res;
-  res.completion.assign(items, std::vector<double>(k, 0.0));
+  if (options.record_completion) {
+    res.completion.assign(items, std::vector<double>(k, 0.0));
+  }
   res.stage_busy_s.assign(k, 0.0);
   res.stage_util.assign(k, 0.0);
   if (items == 0) {
@@ -33,35 +36,46 @@ PipelineResult simulate(const std::vector<Stage>& stages, std::size_t items,
     return service_scale.empty() ? 1.0 : service_scale[i];
   };
 
+  double final_finish = 0.0;
   if (discipline == Discipline::kItemGranular) {
     // finish(i, s) = max(finish(i, s-1), finish(i-1, s)) + service(s) * scale(i)
+    // Only the previous item's row feeds the recurrence, so the rolling
+    // window keeps memory at O(stages) when the matrix is not recorded.
+    std::vector<double> prev(k, 0.0);  // finish times of item i-1
+    std::vector<double> cur(k, 0.0);
     for (std::size_t i = 0; i < items; ++i) {
       for (std::size_t s = 0; s < k; ++s) {
-        const double ready_item = (s == 0) ? 0.0 : res.completion[i][s - 1];
-        const double ready_stage = (i == 0) ? 0.0 : res.completion[i - 1][s];
+        const double ready_item = (s == 0) ? 0.0 : cur[s - 1];
+        const double ready_stage = (i == 0) ? 0.0 : prev[s];
         const double t = stages[s].service.as_s() * scale(i);
-        res.completion[i][s] = std::max(ready_item, ready_stage) + t;
+        cur[s] = std::max(ready_item, ready_stage) + t;
         res.stage_busy_s[s] += t;
       }
+      if (options.record_completion) {
+        res.completion[i] = cur;
+      }
+      std::swap(prev, cur);
     }
+    final_finish = prev[k - 1];
   } else {
     // Stage s starts only after every item finished stage s-1.
     double stage_start = 0.0;
-    std::vector<double> stage_end(items, 0.0);
     for (std::size_t s = 0; s < k; ++s) {
       double t_cursor = stage_start;
       for (std::size_t i = 0; i < items; ++i) {
         const double t = stages[s].service.as_s() * scale(i);
         t_cursor += t;
-        res.completion[i][s] = t_cursor;
+        if (options.record_completion) {
+          res.completion[i][s] = t_cursor;
+        }
         res.stage_busy_s[s] += t;
-        stage_end[i] = t_cursor;
       }
       stage_start = t_cursor;  // barrier: next stage starts after the last item
     }
+    final_finish = stage_start;
   }
 
-  res.makespan = Time::s(res.completion[items - 1][k - 1]);
+  res.makespan = Time::s(final_finish);
   const double span = res.makespan.as_s();
   for (std::size_t s = 0; s < k; ++s) {
     res.stage_util[s] = span > 0.0 ? res.stage_busy_s[s] / span : 0.0;

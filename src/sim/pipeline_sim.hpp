@@ -40,10 +40,20 @@ struct PipelineResult {
   Time makespan{};
   std::vector<double> stage_busy_s;   ///< total busy seconds per stage
   std::vector<double> stage_util;     ///< busy / makespan
-  /// completion[i][s] = finish time (s) of item i in stage s.
+  /// completion[i][s] = finish time (s) of item i in stage s. Empty when
+  /// the run was invoked with record_completion = false.
   std::vector<std::vector<double>> completion;
 
   [[nodiscard]] double bottleneck_util() const;
+};
+
+/// Per-run simulation options. The result object is the only mutable state
+/// of a run; `simulate` itself is pure and safe to call concurrently.
+struct SimOptions {
+  /// Store the full items x stages completion matrix. Disable for large
+  /// batched runs where only the makespan/utilisation summary is needed:
+  /// the recurrence then runs in O(stages) memory.
+  bool record_completion = true;
 };
 
 /// Simulate `items` work items through `stages` under `discipline`.
@@ -51,7 +61,8 @@ struct PipelineResult {
 /// every stage's service time for item i (empty = all 1.0).
 PipelineResult simulate(const std::vector<Stage>& stages, std::size_t items,
                         Discipline discipline,
-                        const std::vector<double>& service_scale = {});
+                        const std::vector<double>& service_scale = {},
+                        const SimOptions& options = {});
 
 /// Closed-form makespan for constant service times:
 ///  item-granular: sum(service) + (N-1) * max(service)

@@ -24,4 +24,27 @@ QkvTriple random_qkv(std::size_t seq_len, std::size_t d_k, double score_std, Rng
 /// Largest |x_i - x_max| across a batch (the integer-bits driver).
 double max_spread(const std::vector<std::vector<double>>& rows);
 
+// --- multi-sequence batches (the BatchScheduler workload) ---
+//
+// Every sequence gets its own seed, derived up front from the batch seed by
+// one sequential pass over a parent stream. Generation and execution of
+// sequence i therefore depend only on (seed, i) — never on which thread
+// runs it or in what order — which is what makes batched runs bit-identical
+// to sequential ones.
+
+/// Per-sequence seeds: seeds[i] fully determines sequence i (empty batch
+/// yields an empty vector).
+std::vector<std::uint64_t> sequence_seeds(std::size_t batch, std::uint64_t seed);
+
+/// B independent synthetic attention inputs for one head.
+std::vector<QkvTriple> qkv_batch(std::size_t batch, std::size_t seq_len,
+                                 std::size_t d_k, double score_std,
+                                 std::uint64_t seed);
+
+/// B independent encoder-layer inputs (seq_len x d_model embeddings,
+/// i.i.d. normal(0, embed_std)).
+std::vector<nn::Tensor> embedding_batch(std::size_t batch, std::size_t seq_len,
+                                        std::size_t d_model, double embed_std,
+                                        std::uint64_t seed);
+
 }  // namespace star::workload

@@ -65,12 +65,17 @@ void CamCrossbar::fill(const std::vector<std::int64_t>& codes) {
 }
 
 std::vector<bool> CamCrossbar::search(std::int64_t code, double miss_prob) {
+  return static_cast<const CamCrossbar&>(*this).search(code, miss_prob, rng_);
+}
+
+std::vector<bool> CamCrossbar::search(std::int64_t code, double miss_prob,
+                                      Rng& rng) const {
   require(code >= 0 && code < (std::int64_t{1} << bits_),
           "CamCrossbar::search: code out of range");
   std::vector<bool> match(static_cast<std::size_t>(rows_), false);
   for (int r = 0; r < rows_; ++r) {
     if (stored_[static_cast<std::size_t>(r)] == code) {
-      const bool sensed = miss_prob <= 0.0 || !rng_.bernoulli(miss_prob);
+      const bool sensed = miss_prob <= 0.0 || !rng.bernoulli(miss_prob);
       match[static_cast<std::size_t>(r)] = sensed;
     }
   }

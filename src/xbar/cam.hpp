@@ -37,8 +37,18 @@ class CamCrossbar {
   void fill(const std::vector<std::int64_t>& codes);
 
   /// One search cycle: matchline vector for `code` (search-error rate
-  /// `miss_prob` flips a matching line low with that probability).
+  /// `miss_prob` flips a matching line low with that probability). Draws
+  /// fault samples from the member stream; use the const overload when the
+  /// crossbar is shared across threads.
   [[nodiscard]] std::vector<bool> search(std::int64_t code, double miss_prob = 0.0);
+
+  /// Thread-safe search against shared read-only contents: fault samples
+  /// come from the caller's per-run stream, the crossbar is not mutated.
+  [[nodiscard]] std::vector<bool> search(std::int64_t code, double miss_prob,
+                                         Rng& rng) const;
+
+  /// The member fault stream (legacy single-stream call sites).
+  [[nodiscard]] Rng& fault_rng() { return rng_; }
 
   /// Convenience: the index of the (unique) matching row, if any.
   [[nodiscard]] std::optional<int> search_index(std::int64_t code);

@@ -58,6 +58,11 @@ int CamSubCrossbar::row_of(std::int64_t code) const {
 
 MaxFindResult CamSubCrossbar::find_max(std::span<const std::int64_t> codes,
                                        double miss_prob) {
+  return find_max(codes, miss_prob, cam_.fault_rng());
+}
+
+MaxFindResult CamSubCrossbar::find_max(std::span<const std::int64_t> codes,
+                                       double miss_prob, Rng& rng) const {
   require(!codes.empty(), "CamSubCrossbar::find_max: empty input");
   require(miss_prob >= 0.0 && miss_prob <= 1.0,
           "CamSubCrossbar::find_max: miss_prob in [0, 1]");
@@ -66,7 +71,7 @@ MaxFindResult CamSubCrossbar::find_max(std::span<const std::int64_t> codes,
   res.input_rows.reserve(codes.size());
 
   for (const std::int64_t code : codes) {
-    const auto match = cam_.search(code, miss_prob);
+    const auto match = cam_.search(code, miss_prob, rng);
     int matched_row = -1;
     for (std::size_t r = 0; r < match.size(); ++r) {
       if (match[r]) {

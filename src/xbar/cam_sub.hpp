@@ -59,6 +59,11 @@ class CamSubCrossbar {
   [[nodiscard]] MaxFindResult find_max(std::span<const std::int64_t> codes,
                                        double miss_prob = 0.0);
 
+  /// Thread-safe variant against shared read-only contents: fault samples
+  /// come from the caller's per-run stream.
+  [[nodiscard]] MaxFindResult find_max(std::span<const std::int64_t> codes,
+                                       double miss_prob, Rng& rng) const;
+
   /// Phase B: per-element x_i - x_max (non-positive), given a find_max
   /// result. Missed inputs return -(2^bits) (below every representable
   /// magnitude, i.e. their exponential underflows to zero downstream).

@@ -1,0 +1,7 @@
+// gtest_main replacement for the vendored shim (see gtest/gtest.h).
+#include <gtest/gtest.h>
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

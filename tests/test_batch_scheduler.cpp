@@ -1,0 +1,236 @@
+// Batched multi-threaded simulation: sim::BatchScheduler mechanics, the
+// determinism/equivalence contract of core::BatchEncoderSim, and the
+// thread-safety of the const engine datapaths.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "core/batch_encoder.hpp"
+#include "core/functional_attention.hpp"
+#include "nn/softmax_ref.hpp"
+#include "sim/batch_scheduler.hpp"
+#include "util/status.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace star {
+namespace {
+
+bool byte_identical(const std::vector<nn::Tensor>& a,
+                    const std::vector<nn::Tensor>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!nn::Tensor::bit_identical(a[i], b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------- scheduler mechanics ----------
+
+TEST(BatchScheduler, RunsEveryJobExactlyOnce) {
+  sim::BatchScheduler sched(4);
+  constexpr std::size_t kJobs = 200;
+  std::vector<std::atomic<int>> hits(kJobs);
+  sched.run(kJobs, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(BatchScheduler, ZeroJobsIsANoOp) {
+  sim::BatchScheduler sched(3);
+  EXPECT_NO_THROW(sched.run(0, [](std::size_t) { throw std::logic_error("never"); }));
+}
+
+TEST(BatchScheduler, ReusableAcrossBatches) {
+  sim::BatchScheduler sched(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    sched.run(17, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 17);
+  }
+}
+
+TEST(BatchScheduler, MoreThreadsThanJobs) {
+  sim::BatchScheduler sched(8);
+  std::atomic<int> count{0};
+  sched.run(3, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(BatchScheduler, DefaultsToHardwareConcurrency) {
+  sim::BatchScheduler sched(0);
+  EXPECT_GE(sched.thread_count(), 1);
+}
+
+TEST(BatchScheduler, MapCollectsResultsInIndexOrder) {
+  sim::BatchScheduler sched(4);
+  const auto out =
+      sched.map<int>(100, [](std::size_t i) { return static_cast<int>(i) * 3; });
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i * 3);
+  }
+}
+
+TEST(BatchScheduler, LowestIndexExceptionWins) {
+  sim::BatchScheduler sched(4);
+  for (int round = 0; round < 5; ++round) {
+    std::string caught;
+    try {
+      sched.run(64, [&](std::size_t i) {
+        if (i % 7 == 3) {  // lowest failing index is 3
+          throw std::runtime_error("job " + std::to_string(i));
+        }
+      });
+    } catch (const std::runtime_error& e) {
+      caught = e.what();
+    }
+    EXPECT_EQ(caught, "job 3");
+  }
+}
+
+TEST(BatchScheduler, SchedulerUsableAfterException) {
+  sim::BatchScheduler sched(2);
+  EXPECT_THROW(
+      sched.run(8, [](std::size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  std::atomic<int> count{0};
+  sched.run(8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+// ---------- determinism + equivalence of the batched encoder ----------
+
+core::StarConfig tiny_cfg() {
+  core::StarConfig cfg;
+  cfg.max_seq_len = 128;
+  return cfg;
+}
+
+TEST(BatchEncoder, BatchedEqualsSequentialBitExact) {
+  const nn::BertConfig bert = nn::BertConfig::tiny();
+  const core::BatchEncoderSim model(tiny_cfg(), bert);
+  const auto inputs = workload::embedding_batch(
+      6, 12, static_cast<std::size_t>(bert.d_model), 1.0, 99);
+
+  // Reference: B fully sequential runs through the legacy single-stream
+  // engine path, one fresh view per sequence (same per-sequence seeds).
+  const auto seeds = workload::sequence_seeds(inputs.size(), 0x5EED);
+  std::vector<nn::Tensor> reference;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    core::SoftmaxEngineView view(model.softmax_engine(), seeds[i]);
+    reference.push_back(nn::encoder_layer_forward(inputs[i], model.weights(), view));
+  }
+
+  sim::BatchScheduler sched(4);
+  const auto batched = model.run_encoder_batch(inputs, sched);
+  EXPECT_TRUE(byte_identical(batched, reference));
+}
+
+TEST(BatchEncoder, DeterministicForAnyThreadCount) {
+  const nn::BertConfig bert = nn::BertConfig::tiny();
+  const core::BatchEncoderSim model(tiny_cfg(), bert);
+  const auto inputs = workload::embedding_batch(
+      5, 10, static_cast<std::size_t>(bert.d_model), 1.0, 7);
+
+  sim::BatchScheduler one(1);
+  const auto reference = model.run_encoder_batch(inputs, one);
+  for (const int threads : {2, 3, 5, 8}) {
+    sim::BatchScheduler sched(threads);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      const auto out = model.run_encoder_batch(inputs, sched);
+      EXPECT_TRUE(byte_identical(out, reference));
+    }
+  }
+}
+
+TEST(BatchEncoder, AttentionBatchMatchesSequential) {
+  const core::BatchEncoderSim model(tiny_cfg(), nn::BertConfig::tiny());
+  const auto qkv = workload::qkv_batch(4, 10, 16, 2.0, 0xF00D);
+
+  const auto seeds = workload::sequence_seeds(qkv.size(), 0x5EED);
+  sim::BatchScheduler sched(3);
+  const auto batched = model.run_attention_batch(qkv, sched);
+  ASSERT_EQ(batched.size(), qkv.size());
+  for (std::size_t i = 0; i < qkv.size(); ++i) {
+    core::SoftmaxRunState run(seeds[i]);
+    const auto ref = core::attention_on_star(qkv[i].q, qkv[i].k, qkv[i].v,
+                                             model.matmul_engine(),
+                                             model.softmax_engine(), run);
+    EXPECT_TRUE(nn::Tensor::bit_identical(batched[i].output, ref.output));
+    EXPECT_TRUE(
+        nn::Tensor::bit_identical(batched[i].probabilities, ref.probabilities));
+  }
+}
+
+TEST(BatchEncoder, AnalyticBatchMatchesDirectRuns) {
+  const nn::BertConfig bert = nn::BertConfig::base();
+  const core::BatchEncoderSim model(core::StarConfig{}, bert);
+  const std::vector<std::int64_t> lens = {32, 64, 128, 256, 64, 32};
+
+  sim::BatchScheduler sched(4);
+  const auto batched = model.run_analytic_batch(lens, sched);
+  ASSERT_EQ(batched.size(), lens.size());
+  for (std::size_t i = 0; i < lens.size(); ++i) {
+    const auto direct = model.accelerator().run_attention_layer(bert, lens[i]);
+    EXPECT_DOUBLE_EQ(batched[i].latency.as_s(), direct.latency.as_s());
+    EXPECT_DOUBLE_EQ(batched[i].energy.as_J(), direct.energy.as_J());
+    EXPECT_DOUBLE_EQ(batched[i].power.as_W(), direct.power.as_W());
+  }
+}
+
+TEST(BatchEncoder, FaultInjectionStreamsArePerSequence) {
+  // With cam_miss_prob > 0 the per-sequence RNG streams decide the sampled
+  // faults; determinism across thread counts must still hold because each
+  // sequence owns its stream.
+  core::StarConfig cfg = tiny_cfg();
+  cfg.cam_miss_prob = 0.02;
+  const nn::BertConfig bert = nn::BertConfig::tiny();
+  const core::BatchEncoderSim model(cfg, bert);
+  const auto inputs = workload::embedding_batch(
+      4, 8, static_cast<std::size_t>(bert.d_model), 1.0, 21);
+
+  sim::BatchScheduler one(1);
+  const auto reference = model.run_encoder_batch(inputs, one);
+  for (const int threads : {2, 7}) {
+    sim::BatchScheduler sched(threads);
+    EXPECT_TRUE(byte_identical(model.run_encoder_batch(inputs, sched), reference));
+  }
+}
+
+// ---------- property sweep: batch x threads x seq_len ----------
+
+class BatchSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BatchSweep, BatchedEqualsSequentialEverywhere) {
+  const auto [batch, threads, seq_len] = GetParam();
+  const nn::BertConfig bert = nn::BertConfig::tiny();
+  const core::BatchEncoderSim model(tiny_cfg(), bert);
+  const auto inputs = workload::embedding_batch(
+      static_cast<std::size_t>(batch), static_cast<std::size_t>(seq_len),
+      static_cast<std::size_t>(bert.d_model), 1.0,
+      0xABC + static_cast<std::uint64_t>(batch * 1000 + seq_len));
+
+  sim::BatchScheduler one(1);
+  const auto reference = model.run_encoder_batch(inputs, one);
+
+  sim::BatchScheduler sched(threads);
+  EXPECT_TRUE(byte_identical(model.run_encoder_batch(inputs, sched), reference));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BatchSweep,
+                         ::testing::Combine(::testing::Values(1, 3, 8),
+                                            ::testing::Values(1, 2, 5),
+                                            ::testing::Values(4, 16)));
+
+}  // namespace
+}  // namespace star
