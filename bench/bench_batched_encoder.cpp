@@ -1,22 +1,39 @@
-// Batched multi-threaded encoder throughput: B independent sequences
-// through one encoder layer (STAR crossbar softmax), scheduled over a
-// worker pool sharing one immutable model.
+// Batched encoder throughput, closed-loop and served.
 //
-// Reports sequences/sec vs. thread count and verifies that every threaded
-// run is byte-identical to the sequential reference — the determinism
-// contract of sim::BatchScheduler. Wall-clock speedup tracks the physical
-// cores of the host (on a single-core container all thread counts converge
-// to ~1x; correctness is still exercised).
+// Part 1 (closed batch): B independent sequences through one encoder layer
+// (STAR crossbar softmax) via the closed-batch shim, reporting seq/s vs.
+// thread count and verifying byte-identity against the sequential
+// reference — the determinism contract of sim::BatchScheduler.
+//
+// Part 2 (server mode): the same sequences submitted individually to
+// serve::StarServer along a seeded open-loop arrival trace (Poisson
+// inter-arrivals at ~2x the measured closed-batch service rate, so the
+// admission queue actually queues). Reports throughput, mean/p99 queueing
+// latency and batch occupancy, and verifies every response is bit-identical
+// to a solo closed-batch run of the same request.
+//
+// Flags: --threads N   worker threads (default: sweep 1,2,4,8)
+//        --batch B     sequences per closed batch / server run multiplier
+//                      (default 32)
+//        --seqlen L    tokens per sequence (default 48)
+// The last stdout line is a one-line JSON summary for BENCH_*.json
+// tracking. Wall-clock speedup tracks the physical cores of the host (a
+// single-core container converges to ~1x; correctness is still exercised).
 #include <chrono>
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/batch_encoder.hpp"
+#include "serve/star_server.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
+#include "workload/arrival_trace.hpp"
 
 namespace {
 
@@ -40,26 +57,49 @@ bool byte_identical(const std::vector<star::nn::Tensor>& a,
   return true;
 }
 
+long parse_flag(int argc, char** argv, const char* name, long fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", name);
+        std::exit(2);
+      }
+      char* end = nullptr;
+      const long v = std::strtol(argv[i + 1], &end, 10);
+      if (end == argv[i + 1] || *end != '\0' || v <= 0 || v > INT_MAX) {
+        std::fprintf(stderr, "invalid value for %s: %s\n", name, argv[i + 1]);
+        std::exit(2);
+      }
+      return v;
+    }
+  }
+  return fallback;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace star;
+
+  const long threads_flag = parse_flag(argc, argv, "--threads", 0);
+  const auto batch =
+      static_cast<std::size_t>(parse_flag(argc, argv, "--batch", 32));
+  const auto seq_len =
+      static_cast<std::size_t>(parse_flag(argc, argv, "--seqlen", 48));
+  constexpr std::uint64_t kSeed = 0xBA7C4ED;
 
   const nn::BertConfig bert = nn::BertConfig::tiny();
   core::StarConfig cfg;
-  constexpr std::size_t kBatch = 32;
-  constexpr std::size_t kSeqLen = 48;
-  constexpr std::uint64_t kSeed = 0xBA7C4ED;
-
   const core::BatchEncoderSim model(cfg, bert);
   const auto inputs = workload::embedding_batch(
-      kBatch, kSeqLen, static_cast<std::size_t>(bert.d_model), 1.0, kSeed);
+      batch, seq_len, static_cast<std::size_t>(bert.d_model), 1.0, kSeed);
 
   std::printf("Batched encoder simulation: B=%zu sequences, L=%zu, "
               "d_model=%lld (host reports %u hardware threads)\n\n",
-              kBatch, kSeqLen, static_cast<long long>(bert.d_model),
+              batch, seq_len, static_cast<long long>(bert.d_model),
               std::thread::hardware_concurrency());
 
+  // --- Part 1: closed-batch sweep -----------------------------------------
   // Sequential reference (threads = 1) — the bit-exactness baseline.
   // Warmed up like every threaded row, so the speedup column compares
   // steady-state against steady-state.
@@ -69,12 +109,22 @@ int main() {
   const double t_seq =
       run_seconds([&] { reference = model.run_encoder_batch(inputs, seq_sched); });
 
+  const std::vector<int> thread_sweep =
+      threads_flag > 0 ? std::vector<int>{static_cast<int>(threads_flag)}
+                       : std::vector<int>{1, 2, 4, 8};
+  // The thread count server mode runs at — and the sweep row the JSON
+  // summary's closed-batch figure is taken from, so the record compares
+  // like with like.
+  const int serve_threads =
+      threads_flag > 0 ? static_cast<int>(threads_flag) : 4;
+
   TablePrinter table({"threads", "time (ms)", "seq/s", "speedup", "bit-identical"});
   CsvWriter csv("bench_batched_encoder.csv");
   csv.header({"threads", "time_ms", "seq_per_s", "speedup", "identical"});
 
   bool all_identical = true;
-  for (const int threads : {1, 2, 4, 8}) {
+  double closed_seq_per_s = 0.0;
+  for (const int threads : thread_sweep) {
     sim::BatchScheduler sched(threads);
     std::vector<nn::Tensor> out;
     // Warm-up run so pool spin-up is not billed to the measurement.
@@ -83,7 +133,10 @@ int main() {
         run_seconds([&] { out = model.run_encoder_batch(inputs, sched); });
     const bool identical = byte_identical(out, reference);
     all_identical = all_identical && identical;
-    const double seq_per_s = static_cast<double>(kBatch) / t;
+    const double seq_per_s = static_cast<double>(batch) / t;
+    if (threads == serve_threads) {
+      closed_seq_per_s = seq_per_s;
+    }
     table.add_row({std::to_string(threads), TablePrinter::num(t * 1e3, 1),
                    TablePrinter::num(seq_per_s, 1),
                    TablePrinter::num(t_seq / t, 2) + "x",
@@ -94,9 +147,86 @@ int main() {
   }
   table.print();
 
+  // --- Part 2: open-loop server mode --------------------------------------
+  // Offered load ~2x the sequential service rate so the batcher actually
+  // coalesces and the admission queue actually queues (one tick = 1 us).
+  const double service_us_per_seq = 1e6 * t_seq / static_cast<double>(batch);
+  const double mean_inter_arrival_us = service_us_per_seq / 2.0;
+  const auto trace = workload::ArrivalTrace::generate(
+      batch, workload::ArrivalProcess::kPoisson, mean_inter_arrival_us, kSeed);
+
+  // Solo references: what each individual request must reproduce
+  // bit-for-bit regardless of the batch it lands in.
+  std::vector<nn::Tensor> solo_refs;
+  solo_refs.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const nn::Tensor one[] = {inputs[i]};
+    solo_refs.push_back(std::move(
+        model.run_encoder_batch(one, seq_sched, kSeed + i)[0]));
+  }
+
+  sim::BatchScheduler serve_sched(serve_threads);
+  serve::ServerOptions opts;
+  opts.max_queue = batch;  // block policy: throttle, never drop
+  opts.batcher.max_batch = 8;
+  opts.batcher.max_wait_ticks = 2;
+  opts.batcher.tick = std::chrono::microseconds(
+      static_cast<long>(mean_inter_arrival_us) + 1);
+  serve::StarServer server(model, serve_sched, opts);
+
+  std::vector<std::future<serve::EncoderResponse>> futs;
+  futs.reserve(batch);
+  const auto serve_t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < batch; ++i) {
+    const auto due = serve_t0 + std::chrono::microseconds(static_cast<long>(
+                                    trace.arrival_ticks[i]));
+    std::this_thread::sleep_until(due);
+    futs.push_back(server.submit(serve::EncoderRequest{inputs[i], kSeed + i}));
+  }
+  bool served_identical = true;
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    served_identical = served_identical &&
+                       nn::Tensor::bit_identical(futs[i].get().output,
+                                                 solo_refs[i]);
+  }
+  const double serve_wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - serve_t0)
+                                .count();
+  all_identical = all_identical && served_identical;
+  const auto stats = server.stats();
+  const double server_seq_per_s = static_cast<double>(batch) / serve_wall;
+
+  std::printf("\nServer mode (open loop, Poisson arrivals, %d threads, "
+              "max_batch=%zu):\n", serve_threads, opts.batcher.max_batch);
+  std::printf("  throughput        %.1f seq/s (%zu requests in %.1f ms)\n",
+              server_seq_per_s, batch, serve_wall * 1e3);
+  std::printf("  queue wait        mean %.3f ms, p99 %.3f ms\n",
+              stats.queue_wait_mean_s * 1e3, stats.queue_wait_p99_s * 1e3);
+  std::printf("  service           mean %.3f ms, p99 %.3f ms\n",
+              stats.service_mean_s * 1e3, stats.service_p99_s * 1e3);
+  std::printf("  batch occupancy   mean %.2f, max %zu (%llu batches)\n",
+              stats.batch_occupancy_mean, stats.batch_occupancy_max,
+              static_cast<unsigned long long>(stats.batches));
+  std::printf("  responses bit-identical to solo closed-batch runs: %s\n",
+              served_identical ? "yes" : "NO (BUG)");
+
   std::printf("\nShared immutable model, per-sequence run state; results are "
-              "%s across all thread counts. rows written to "
+              "%s across all modes. rows written to "
               "bench_batched_encoder.csv\n",
               all_identical ? "byte-identical" : "NOT IDENTICAL (BUG)");
+
+  // Machine-readable one-line summary (last line of stdout).
+  std::printf("{\"bench\":\"bench_batched_encoder\",\"threads\":%d,"
+              "\"batch\":%zu,\"seq_len\":%zu,"
+              "\"closed_seq_per_s\":%.2f,\"server_seq_per_s\":%.2f,"
+              "\"queue_wait_mean_ms\":%.4f,\"queue_wait_p99_ms\":%.4f,"
+              "\"service_mean_ms\":%.4f,\"batch_occupancy_mean\":%.3f,"
+              "\"batches\":%llu,\"identical\":%s}\n",
+              serve_threads, batch, seq_len, closed_seq_per_s,
+              server_seq_per_s, stats.queue_wait_mean_s * 1e3,
+              stats.queue_wait_p99_s * 1e3, stats.service_mean_s * 1e3,
+              stats.batch_occupancy_mean,
+              static_cast<unsigned long long>(stats.batches),
+              all_identical ? "true" : "false");
   return all_identical ? 0 : 1;
 }

@@ -1,9 +1,14 @@
-// Minimal batched-serving walkthrough: one shared STAR model, B concurrent
-// sequences, deterministic outputs. See bench/bench_batched_encoder.cpp
-// for the throughput study.
+// Minimal serving walkthrough: one shared STAR model behind the async
+// submit() -> future front end. Callers hand over individual requests; the
+// server admits, coalesces and dispatches them — no batch boundary in
+// sight. See bench/bench_batched_encoder.cpp for the throughput study and
+// the open-loop arrival-trace driver.
 #include <cstdio>
+#include <future>
+#include <vector>
 
 #include "core/batch_encoder.hpp"
+#include "serve/star_server.hpp"
 
 int main() {
   using namespace star;
@@ -17,23 +22,50 @@ int main() {
       /*batch=*/4, /*seq_len=*/16, static_cast<std::size_t>(bert.d_model),
       /*embed_std=*/1.0, /*seed=*/42);
 
+  // The server coalesces up to 4 pending requests, or dispatches earlier
+  // once the oldest has waited 2 ticks. Admission blocks when the bounded
+  // queue is full (see serve::AdmissionPolicy for reject / shed-oldest).
   sim::BatchScheduler sched(/*threads=*/4);
-  const auto outputs = model.run_encoder_batch(inputs, sched);
+  serve::ServerOptions opts;
+  opts.batcher.max_batch = 4;
+  opts.batcher.max_wait_ticks = 2;
+  serve::StarServer server(model, sched, opts);
 
-  std::printf("ran %zu sequences on %d threads\n", outputs.size(),
-              sched.thread_count());
-  for (std::size_t i = 0; i < outputs.size(); ++i) {
-    std::printf("  seq %zu: output %zux%zu, out[0][0] = %+.6f\n", i,
-                outputs[i].rows(), outputs[i].cols(), outputs[i].at(0, 0));
+  // Submit individual requests; each future resolves to a response that is
+  // bit-identical to a solo closed-batch run with the same run_seed.
+  std::vector<std::future<serve::EncoderResponse>> futs;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    futs.push_back(server.submit(
+        serve::EncoderRequest{inputs[i], /*run_seed=*/1000 + i}));
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const auto resp = futs[i].get();
+    std::printf("  seq %zu: output %zux%zu, out[0][0] = %+.6f "
+                "(batch %llu of %zu, waited %.0f us)\n",
+                i, resp.output.rows(), resp.output.cols(),
+                resp.output.at(0, 0),
+                static_cast<unsigned long long>(resp.stats.batch_id),
+                resp.stats.batch_size, resp.stats.queue_wait_s * 1e6);
   }
 
-  // The analytic face batches too: per-sequence latency at mixed lengths.
-  const std::int64_t lens[] = {32, 64, 128, 256};
-  const auto reports = model.run_analytic_batch(lens, sched);
-  for (std::size_t i = 0; i < reports.size(); ++i) {
+  // The analytic face serves too: per-request latency at mixed lengths.
+  const std::vector<std::int64_t> lens = {32, 64, 128, 256};
+  std::vector<std::future<serve::AnalyticResponse>> lat;
+  for (const std::int64_t len : lens) {
+    lat.push_back(server.submit(serve::AnalyticRequest{len}));
+  }
+  for (std::size_t i = 0; i < lat.size(); ++i) {
+    const auto resp = lat[i].get();
     std::printf("  L=%lld: attention layer latency %s\n",
                 static_cast<long long>(lens[i]),
-                to_string(reports[i].latency).c_str());
+                to_string(resp.result.latency).c_str());
   }
+
+  const auto stats = server.stats();
+  std::printf("served %llu requests in %llu batches "
+              "(mean occupancy %.2f) on %d threads\n",
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.batches),
+              stats.batch_occupancy_mean, sched.thread_count());
   return 0;
 }

@@ -22,6 +22,25 @@ BatchEncoderSim::BatchEncoderSim(const StarConfig& cfg, const nn::BertConfig& be
   bert_.validate();
 }
 
+nn::Tensor BatchEncoderSim::run_encoder_one(const nn::Tensor& input,
+                                            std::uint64_t engine_seed) const {
+  require(input.cols() == static_cast<std::size_t>(bert_.d_model),
+          "run_encoder_one: input width must equal d_model");
+  SoftmaxEngineView view(softmax_engine(), engine_seed);
+  return nn::encoder_layer_forward(input, weights_, view);
+}
+
+FunctionalAttentionResult BatchEncoderSim::run_attention_one(
+    const workload::QkvTriple& qkv, std::uint64_t engine_seed) const {
+  SoftmaxRunState run(engine_seed);
+  return attention_on_star(qkv.q, qkv.k, qkv.v, matmul_engine(),
+                           softmax_engine(), run);
+}
+
+AttentionRunResult BatchEncoderSim::run_analytic_one(std::int64_t seq_len) const {
+  return accel_.run_attention_layer(bert_, seq_len);
+}
+
 std::vector<nn::Tensor> BatchEncoderSim::run_encoder_batch(
     std::span<const nn::Tensor> inputs, sim::BatchScheduler& sched,
     std::uint64_t run_seed) const {
@@ -31,8 +50,7 @@ std::vector<nn::Tensor> BatchEncoderSim::run_encoder_batch(
   }
   const auto seeds = workload::sequence_seeds(inputs.size(), run_seed);
   return sched.map<nn::Tensor>(inputs.size(), [&](std::size_t i) {
-    SoftmaxEngineView view(softmax_engine(), seeds[i]);
-    return nn::encoder_layer_forward(inputs[i], weights_, view);
+    return run_encoder_one(inputs[i], seeds[i]);
   });
 }
 
@@ -41,16 +59,14 @@ std::vector<FunctionalAttentionResult> BatchEncoderSim::run_attention_batch(
     std::uint64_t run_seed) const {
   const auto seeds = workload::sequence_seeds(qkv.size(), run_seed);
   return sched.map<FunctionalAttentionResult>(qkv.size(), [&](std::size_t i) {
-    SoftmaxRunState run(seeds[i]);
-    return attention_on_star(qkv[i].q, qkv[i].k, qkv[i].v, matmul_engine(),
-                             softmax_engine(), run);
+    return run_attention_one(qkv[i], seeds[i]);
   });
 }
 
 std::vector<AttentionRunResult> BatchEncoderSim::run_analytic_batch(
     std::span<const std::int64_t> seq_lens, sim::BatchScheduler& sched) const {
   return sched.map<AttentionRunResult>(seq_lens.size(), [&](std::size_t i) {
-    return accel_.run_attention_layer(bert_, seq_lens[i]);
+    return run_analytic_one(seq_lens[i]);
   });
 }
 

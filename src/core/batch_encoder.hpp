@@ -10,6 +10,16 @@
 // sequences one-by-one, for every thread count. Sequence i's work depends
 // only on (inputs[i], per-sequence seed i); the BatchScheduler only decides
 // *when* each sequence runs, never *what* it computes.
+//
+// Seed-derivation rule (fixed API contract, shared with serve::StarServer):
+// the engine seed of sequence i under batch seed `run_seed` is
+// workload::sequence_seed(run_seed, i) — the (i+1)-th raw draw of
+// Rng(run_seed). The serving front end gives every request its own
+// `run_seed` and executes it with sequence_seed(run_seed, 0), i.e. exactly
+// the engine seed of a solo run_*_batch({one input}, sched, run_seed) call.
+// That single rule is what makes a server response bit-identical to a solo
+// closed-batch run and keeps fault-injection streams (cam_miss_prob > 0)
+// reproducible across both APIs.
 #pragma once
 
 #include <cstdint>
@@ -31,21 +41,48 @@ class BatchEncoderSim {
   BatchEncoderSim(const StarConfig& cfg, const nn::BertConfig& bert,
                   std::uint64_t weight_seed = 0xB127);
 
-  /// Functional path: out[i] = encoder_layer_forward(inputs[i]) with the
-  /// STAR crossbar softmax. `run_seed` derives each sequence's fault-RNG
-  /// stream (relevant only when cfg.cam_miss_prob > 0).
+  // --- per-sequence entry points (the serving-API execution granule) ---
+  //
+  // Each runs ONE sequence against the shared read-only model; `engine_seed`
+  // is the fully derived per-sequence seed (see the seed-derivation rule in
+  // the file comment). Thread-safe: many may run concurrently. These are
+  // what serve::StarServer dispatches, and what the closed-batch shims
+  // below map over.
+
+  /// Functional path: encoder_layer_forward(input) with the STAR crossbar
+  /// softmax. `engine_seed` seeds the fault-RNG stream (relevant only when
+  /// cfg.cam_miss_prob > 0).
+  [[nodiscard]] nn::Tensor run_encoder_one(const nn::Tensor& input,
+                                           std::uint64_t engine_seed) const;
+
+  /// Full-hardware attention path: attention_on_star(qkv) with both matmuls
+  /// on the crossbar MatMul engine.
+  [[nodiscard]] FunctionalAttentionResult run_attention_one(
+      const workload::QkvTriple& qkv, std::uint64_t engine_seed) const;
+
+  /// Analytic path: latency/energy/power of one attention layer at this
+  /// sequence length.
+  [[nodiscard]] AttentionRunResult run_analytic_one(std::int64_t seq_len) const;
+
+  // --- closed-batch calls (deprecated shims) ---
+  //
+  // Thin wrappers mapping run_*_one over a span with
+  // workload::sequence_seeds(n, run_seed). Prefer serve::StarServer, which
+  // admits, coalesces and dispatches individual requests dynamically; these
+  // remain for existing tests/benches and simple closed-loop studies.
+
+  /// Deprecated shim: out[i] = run_encoder_one(inputs[i], seeds[i]).
   [[nodiscard]] std::vector<nn::Tensor> run_encoder_batch(
       std::span<const nn::Tensor> inputs, sim::BatchScheduler& sched,
       std::uint64_t run_seed = 0x5EED) const;
 
-  /// Full-hardware attention path: out[i] = attention_on_star(qkv[i]) with
-  /// both matmuls on the crossbar MatMul engine.
+  /// Deprecated shim: out[i] = run_attention_one(qkv[i], seeds[i]).
   [[nodiscard]] std::vector<FunctionalAttentionResult> run_attention_batch(
       std::span<const workload::QkvTriple> qkv, sim::BatchScheduler& sched,
       std::uint64_t run_seed = 0x5EED) const;
 
-  /// Analytic path: per-sequence latency/energy/power of one attention
-  /// layer at each sequence's length (lengths may differ across the batch).
+  /// Deprecated shim: out[i] = run_analytic_one(seq_lens[i]); lengths may
+  /// differ across the batch.
   [[nodiscard]] std::vector<AttentionRunResult> run_analytic_batch(
       std::span<const std::int64_t> seq_lens, sim::BatchScheduler& sched) const;
 

@@ -1,0 +1,87 @@
+// Request/response types of the asynchronous serving front end.
+//
+// A request carries exactly what determines its payload: the input data and
+// a per-request `run_seed`. The response a caller's future resolves to is
+// bit-identical to a solo closed-batch run of the same input with the same
+// seed (see the seed-derivation rule in core/batch_encoder.hpp) — batch
+// placement never leaks into the payload. Everything timing-related lands
+// in the attached RequestStats, which IS placement-dependent by design.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "core/accelerator.hpp"
+#include "core/functional_attention.hpp"
+#include "nn/tensor.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace star::serve {
+
+/// Default per-request seed; matches the closed-batch calls' default
+/// `run_seed` so an unseeded request reproduces an unseeded solo batch.
+inline constexpr std::uint64_t kDefaultRunSeed = 0x5EED;
+
+/// Per-request observability: where the request landed and how long each
+/// serving phase took. Wall-clock fields vary run to run; only the payload
+/// is covered by the determinism contract.
+struct RequestStats {
+  std::uint64_t request_id = 0;  ///< admission order, unique per server
+  std::uint64_t batch_id = 0;    ///< dispatch order of the formed batch
+  std::size_t batch_size = 0;    ///< how many requests shared the batch
+  double queue_wait_s = 0.0;     ///< admission -> dispatch
+  double service_s = 0.0;        ///< dispatch -> completion (compute)
+};
+
+struct EncoderRequest {
+  nn::Tensor input;  ///< seq_len x d_model embeddings
+  std::uint64_t run_seed = kDefaultRunSeed;
+};
+
+struct EncoderResponse {
+  nn::Tensor output;
+  RequestStats stats;
+};
+
+struct AttentionRequest {
+  workload::QkvTriple qkv;
+  std::uint64_t run_seed = kDefaultRunSeed;
+};
+
+struct AttentionResponse {
+  core::FunctionalAttentionResult result;
+  RequestStats stats;
+};
+
+struct AnalyticRequest {
+  std::int64_t seq_len = 0;
+};
+
+struct AnalyticResponse {
+  core::AttentionRunResult result;
+  RequestStats stats;
+};
+
+/// Base of every admission-control failure delivered through a future.
+class AdmissionError : public std::runtime_error {
+ public:
+  explicit AdmissionError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The bounded queue was full under AdmissionPolicy::kReject, or the
+/// request arrived after shutdown().
+class RejectedError : public AdmissionError {
+ public:
+  explicit RejectedError(const std::string& what) : AdmissionError(what) {}
+};
+
+/// This (oldest-pending) request was evicted to admit a newer one under
+/// AdmissionPolicy::kShedOldest.
+class ShedError : public AdmissionError {
+ public:
+  explicit ShedError(const std::string& what) : AdmissionError(what) {}
+};
+
+}  // namespace star::serve

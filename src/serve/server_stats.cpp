@@ -1,0 +1,76 @@
+#include "serve/server_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace star::serve {
+
+double percentile(std::vector<double> samples, double p) {
+  require(p >= 0.0 && p <= 1.0, "percentile: p must be in [0, 1]");
+  if (samples.empty()) {
+    return 0.0;
+  }
+  // Nearest-rank: the smallest sample >= p of the distribution's mass.
+  const auto rank = static_cast<std::size_t>(
+      std::clamp(std::ceil(p * static_cast<double>(samples.size())) - 1.0, 0.0,
+                 static_cast<double>(samples.size() - 1)));
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(rank),
+                   samples.end());
+  return samples[rank];
+}
+
+void StatsAccumulator::on_batch(std::size_t occupancy) {
+  ++batches_;
+  occupancy_sum_ += occupancy;
+  occupancy_max_ = std::max(occupancy_max_, occupancy);
+}
+
+void StatsAccumulator::on_done(double queue_wait_s, double service_s, bool ok) {
+  (ok ? completed_ : failed_) += 1;
+  queue_wait_sum_s_ += queue_wait_s;
+  service_sum_s_ += service_s;
+  const std::uint64_t seen = completed_ + failed_;
+  if (queue_wait_s_.size() < kMaxLatencySamples) {
+    queue_wait_s_.push_back(queue_wait_s);
+    service_s_.push_back(service_s);
+  } else {
+    // Algorithm R: the reservoir stays a uniform sample of all `seen`
+    // completions. The two vectors are replaced at the same slot so each
+    // index remains one request's (queue_wait, service) pair.
+    const auto j = static_cast<std::uint64_t>(reservoir_rng_.uniform_int(
+        0, static_cast<std::int64_t>(seen) - 1));
+    if (j < kMaxLatencySamples) {
+      queue_wait_s_[static_cast<std::size_t>(j)] = queue_wait_s;
+      service_s_[static_cast<std::size_t>(j)] = service_s;
+    }
+  }
+}
+
+ServerStats StatsAccumulator::snapshot() const {
+  ServerStats s;
+  s.submitted = submitted_;
+  s.admitted = admitted_;
+  s.rejected = rejected_;
+  s.shed = shed_;
+  s.completed = completed_;
+  s.failed = failed_;
+  s.batches = batches_;
+  const std::uint64_t done = completed_ + failed_;
+  s.queue_wait_mean_s =
+      done == 0 ? 0.0 : queue_wait_sum_s_ / static_cast<double>(done);
+  s.queue_wait_p99_s = percentile(queue_wait_s_, 0.99);
+  s.service_mean_s =
+      done == 0 ? 0.0 : service_sum_s_ / static_cast<double>(done);
+  s.service_p99_s = percentile(service_s_, 0.99);
+  s.batch_occupancy_mean =
+      batches_ == 0 ? 0.0
+                    : static_cast<double>(occupancy_sum_) /
+                          static_cast<double>(batches_);
+  s.batch_occupancy_max = occupancy_max_;
+  return s;
+}
+
+}  // namespace star::serve

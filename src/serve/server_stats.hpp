@@ -1,0 +1,72 @@
+// Aggregate serving metrics: admission counters, queueing/service latency
+// distributions and batch occupancy, exposed as an immutable snapshot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace star::serve {
+
+/// Point-in-time aggregate view of a StarServer. At the instant of the
+/// snapshot, counters obey submitted == admitted + rejected + (submitters
+/// still blocked on kBlock admission) and admitted == completed + failed +
+/// shed + (still pending/in flight).
+struct ServerStats {
+  std::uint64_t submitted = 0;   ///< submit() calls (including refused ones)
+  std::uint64_t admitted = 0;    ///< entered the pending queue
+  std::uint64_t rejected = 0;    ///< refused at admission (kReject / shutdown)
+  std::uint64_t shed = 0;        ///< evicted from the queue (kShedOldest)
+  std::uint64_t completed = 0;   ///< future resolved with a value
+  std::uint64_t failed = 0;      ///< future resolved with a compute exception
+  std::uint64_t batches = 0;     ///< batches dispatched to the scheduler
+
+  // Latency distributions over completed + failed requests, seconds.
+  double queue_wait_mean_s = 0.0;
+  double queue_wait_p99_s = 0.0;
+  double service_mean_s = 0.0;
+  double service_p99_s = 0.0;
+
+  // Formed-batch occupancy (requests per dispatched batch).
+  double batch_occupancy_mean = 0.0;
+  std::size_t batch_occupancy_max = 0;
+};
+
+/// Mutable accumulator behind ServerStats. NOT internally synchronised:
+/// StarServer guards every call with its own mutex.
+///
+/// Memory is bounded for arbitrarily long-lived servers: means come from
+/// exact running sums, while percentiles come from a fixed-size uniform
+/// reservoir (Vitter's Algorithm R) over all completions so far.
+class StatsAccumulator {
+ public:
+  /// Latency samples kept for percentile estimation (16 B per slot).
+  static constexpr std::size_t kMaxLatencySamples = 1 << 16;
+
+  void on_submitted() { ++submitted_; }
+  void on_admitted() { ++admitted_; }
+  void on_rejected() { ++rejected_; }
+  void on_shed() { ++shed_; }
+  void on_batch(std::size_t occupancy);
+  void on_done(double queue_wait_s, double service_s, bool ok);
+
+  [[nodiscard]] ServerStats snapshot() const;
+
+ private:
+  std::uint64_t submitted_ = 0, admitted_ = 0, rejected_ = 0, shed_ = 0;
+  std::uint64_t completed_ = 0, failed_ = 0, batches_ = 0;
+  std::uint64_t occupancy_sum_ = 0;
+  std::size_t occupancy_max_ = 0;
+  double queue_wait_sum_s_ = 0.0;
+  double service_sum_s_ = 0.0;
+  std::vector<double> queue_wait_s_;  ///< reservoir, paired by index
+  std::vector<double> service_s_;
+  Rng reservoir_rng_{0x57A75E54};
+};
+
+/// p in [0, 1] quantile of `samples` (nearest-rank); 0 when empty.
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace star::serve

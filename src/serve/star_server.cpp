@@ -1,0 +1,240 @@
+#include "serve/star_server.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace star::serve {
+
+StarServer::StarServer(const core::BatchEncoderSim& model,
+                       sim::BatchScheduler& sched, ServerOptions opts)
+    : model_(model), sched_(sched), opts_(opts) {
+  require(opts_.max_queue >= 1, "StarServer: max_queue must be >= 1");
+  require(opts_.batcher.max_batch >= 1, "StarServer: max_batch must be >= 1");
+  require(opts_.batcher.tick.count() >= 0,
+          "StarServer: tick duration must be non-negative");
+  batcher_ = std::thread([this] { batcher_loop(); });
+}
+
+StarServer::~StarServer() { shutdown(); }
+
+template <typename Response, typename ComputeFn>
+std::future<Response> StarServer::submit_impl(ComputeFn compute) {
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> fut = promise->get_future();
+
+  Pending p;
+  p.enqueued = Clock::now();
+  p.fail = [promise](std::exception_ptr e) { promise->set_exception(e); };
+
+  Pending victim;  // shed target; its future is failed outside the lock
+  bool have_victim = false;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    stats_.on_submitted();
+    if (!stopping_ && queue_.size() >= opts_.max_queue) {
+      switch (opts_.admission) {
+        case AdmissionPolicy::kBlock:
+          space_cv_.wait(lk, [&] {
+            return stopping_ || queue_.size() < opts_.max_queue;
+          });
+          // Re-stamp: queue_wait measures admission -> dispatch (not the
+          // submitter's blocked time) and the batcher's age-out window
+          // starts at admission, not at the original submit call.
+          p.enqueued = Clock::now();
+          break;
+        case AdmissionPolicy::kReject:
+          stats_.on_rejected();
+          lk.unlock();
+          promise->set_exception(std::make_exception_ptr(RejectedError(
+              "StarServer: admission queue full (max_queue=" +
+              std::to_string(opts_.max_queue) + ", policy=reject)")));
+          return fut;
+        case AdmissionPolicy::kShedOldest:
+          victim = std::move(queue_.front());
+          queue_.pop_front();
+          stats_.on_shed();
+          have_victim = true;
+          break;
+      }
+    }
+    if (stopping_) {
+      stats_.on_rejected();
+      lk.unlock();
+      if (have_victim) {
+        // Unreachable in practice (shed only happens pre-stop), but never
+        // leave a popped request's future unresolved.
+        victim.fail(std::make_exception_ptr(
+            RejectedError("StarServer: shut down while pending")));
+      }
+      promise->set_exception(std::make_exception_ptr(
+          RejectedError("StarServer: submit after shutdown")));
+      return fut;
+    }
+    p.id = next_request_id_++;
+    const std::uint64_t id = p.id;
+    const auto enqueued = p.enqueued;
+    p.run = [this, promise, compute = std::move(compute), enqueued,
+             id](const BatchContext& ctx) {
+      const double queue_wait =
+          std::chrono::duration<double>(ctx.dispatched - enqueued).count();
+      const auto t0 = Clock::now();
+      try {
+        Response resp = compute();
+        const double service =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        resp.stats =
+            RequestStats{id, ctx.batch_id, ctx.batch_size, queue_wait, service};
+        record_done(queue_wait, service, /*ok=*/true);
+        promise->set_value(std::move(resp));
+      } catch (...) {
+        const double service =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        record_done(queue_wait, service, /*ok=*/false);
+        promise->set_exception(std::current_exception());
+      }
+    };
+    stats_.on_admitted();
+    queue_.push_back(std::move(p));
+    batcher_cv_.notify_one();
+  }
+  if (have_victim) {
+    victim.fail(std::make_exception_ptr(ShedError(
+        "StarServer: request shed by a newer arrival (policy=shed-oldest)")));
+  }
+  return fut;
+}
+
+std::future<EncoderResponse> StarServer::submit(EncoderRequest req) {
+  return submit_impl<EncoderResponse>([this, req = std::move(req)] {
+    EncoderResponse resp;
+    resp.output = model_.run_encoder_one(
+        req.input, workload::sequence_seed(req.run_seed, 0));
+    return resp;
+  });
+}
+
+std::future<AttentionResponse> StarServer::submit(AttentionRequest req) {
+  return submit_impl<AttentionResponse>([this, req = std::move(req)] {
+    AttentionResponse resp;
+    resp.result = model_.run_attention_one(
+        req.qkv, workload::sequence_seed(req.run_seed, 0));
+    return resp;
+  });
+}
+
+std::future<AnalyticResponse> StarServer::submit(AnalyticRequest req) {
+  return submit_impl<AnalyticResponse>([this, req] {
+    AnalyticResponse resp;
+    resp.result = model_.run_analytic_one(req.seq_len);
+    return resp;
+  });
+}
+
+void StarServer::batcher_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    batcher_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) {
+        return;
+      }
+      continue;
+    }
+    // Coalesce: hold for a full batch until the head ages out (or
+    // shutdown). Under kBlock a full admission queue also dispatches —
+    // submitters are stalled and the size trigger could never fire when
+    // max_batch > max_queue. Under kReject/kShedOldest a full queue is the
+    // admission policy's domain, so the (max_batch, max_wait) policy is
+    // honoured strictly. The deadline is re-derived from the CURRENT head
+    // each pass: kShedOldest may evict the head mid-wait, and the
+    // replacement is owed its own full age-out window.
+    const auto batch_ready = [&] {
+      return stopping_ || queue_.size() >= opts_.batcher.max_batch ||
+             (opts_.admission == AdmissionPolicy::kBlock &&
+              queue_.size() >= opts_.max_queue);
+    };
+    const auto max_wait = opts_.batcher.tick * opts_.batcher.max_wait_ticks;
+    while (!queue_.empty() && !batch_ready()) {
+      const auto deadline = queue_.front().enqueued + max_wait;
+      if (batcher_cv_.wait_until(lk, deadline, batch_ready)) {
+        break;
+      }
+      if (!queue_.empty() && Clock::now() >= queue_.front().enqueued + max_wait) {
+        break;  // the current head really has aged out
+      }
+    }
+    if (queue_.empty()) {
+      continue;
+    }
+
+    std::vector<Pending> formed;
+    const std::size_t take = std::min(queue_.size(), opts_.batcher.max_batch);
+    formed.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      formed.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    const BatchContext ctx{next_batch_id_++, formed.size(), Clock::now()};
+    stats_.on_batch(formed.size());
+    batch_in_flight_ = true;
+    space_cv_.notify_all();
+    lk.unlock();
+    // Jobs catch their own exceptions (into their futures), so the
+    // scheduler never rethrows into the serving loop.
+    sched_.run(formed.size(), [&](std::size_t i) { formed[i].run(ctx); });
+    lk.lock();
+    batch_in_flight_ = false;
+    if (queue_.empty()) {
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+void StarServer::record_done(double queue_wait_s, double service_s, bool ok) {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.on_done(queue_wait_s, service_s, ok);
+}
+
+void StarServer::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [&] { return queue_.empty() && !batch_in_flight_; });
+}
+
+void StarServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  batcher_cv_.notify_all();
+  space_cv_.notify_all();
+  {
+    // Serialise concurrent shutdown() calls around the join.
+    std::lock_guard<std::mutex> jl(join_mu_);
+    if (batcher_.joinable()) {
+      batcher_.join();
+    }
+  }
+}
+
+ServerStats StarServer::stats() const {
+  // Copy the accumulator under the lock; the percentile selects over the
+  // latency reservoirs run after release so a polling monitor never stalls
+  // submit()/record_done()/the batcher for two O(n) nth_elements.
+  StatsAccumulator copy;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    copy = stats_;
+  }
+  return copy.snapshot();
+}
+
+std::size_t StarServer::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+}  // namespace star::serve

@@ -1,0 +1,41 @@
+#include "workload/arrival_trace.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace star::workload {
+
+double ArrivalTrace::inter_arrival_ticks(std::size_t i) const {
+  require(i < arrival_ticks.size(), "inter_arrival_ticks: index out of range");
+  return i == 0 ? arrival_ticks[0] : arrival_ticks[i] - arrival_ticks[i - 1];
+}
+
+ArrivalTrace ArrivalTrace::generate(std::size_t n, ArrivalProcess process,
+                                    double mean_inter_arrival_ticks,
+                                    std::uint64_t seed) {
+  require(mean_inter_arrival_ticks > 0.0,
+          "ArrivalTrace: mean inter-arrival time must be positive");
+  Rng rng(seed);
+  ArrivalTrace trace;
+  trace.arrival_ticks.reserve(n);
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double gap = 0.0;
+    switch (process) {
+      case ArrivalProcess::kPoisson:
+        // Inverse-CDF of Exp(1/mean); uniform() < 1 so the log is finite.
+        gap = -mean_inter_arrival_ticks * std::log(1.0 - rng.uniform());
+        break;
+      case ArrivalProcess::kUniform:
+        gap = rng.uniform(0.0, 2.0 * mean_inter_arrival_ticks);
+        break;
+    }
+    t += gap;
+    trace.arrival_ticks.push_back(t);
+  }
+  return trace;
+}
+
+}  // namespace star::workload

@@ -1,0 +1,46 @@
+// Open-loop arrival traces for driving the serving front end.
+//
+// A trace is the sequence of absolute arrival times (in abstract "ticks";
+// the driver decides how long a tick is — the serving bench maps one tick
+// to one microsecond) at which independent requests reach the server. The
+// generator is seeded and fully deterministic: (n, process, mean, seed)
+// reproduces the identical trace on every host, which is what lets
+// open-loop benchmark runs be compared across machines and commits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace star::workload {
+
+enum class ArrivalProcess {
+  kPoisson,  ///< exponential inter-arrival times (memoryless user traffic)
+  kUniform,  ///< inter-arrival ~ U[0, 2*mean): same rate, bounded burstiness
+};
+
+struct ArrivalTrace {
+  /// Non-decreasing absolute arrival times; arrivals[0] is the first
+  /// request's offset from the trace start.
+  std::vector<double> arrival_ticks;
+
+  [[nodiscard]] std::size_t size() const { return arrival_ticks.size(); }
+  [[nodiscard]] bool empty() const { return arrival_ticks.empty(); }
+
+  /// Time of the last arrival (0 for an empty trace).
+  [[nodiscard]] double makespan_ticks() const {
+    return arrival_ticks.empty() ? 0.0 : arrival_ticks.back();
+  }
+
+  /// Gap before arrival i (arrival_ticks[0] itself for i == 0).
+  [[nodiscard]] double inter_arrival_ticks(std::size_t i) const;
+
+  /// `n` arrivals with the given process and mean inter-arrival time.
+  /// Deterministic in all arguments; `mean_inter_arrival_ticks` must be
+  /// positive (it sets the offered load: rate = 1 / mean).
+  static ArrivalTrace generate(std::size_t n, ArrivalProcess process,
+                               double mean_inter_arrival_ticks,
+                               std::uint64_t seed);
+};
+
+}  // namespace star::workload

@@ -40,6 +40,15 @@ std::vector<std::uint64_t> sequence_seeds(std::size_t batch, std::uint64_t seed)
   return seeds;
 }
 
+std::uint64_t sequence_seed(std::uint64_t seed, std::size_t index) {
+  Rng parent(seed);
+  std::uint64_t s = 0;
+  for (std::size_t i = 0; i <= index; ++i) {
+    s = parent();
+  }
+  return s;
+}
+
 std::vector<QkvTriple> qkv_batch(std::size_t batch, std::size_t seq_len,
                                  std::size_t d_k, double score_std,
                                  std::uint64_t seed) {

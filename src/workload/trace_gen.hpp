@@ -33,8 +33,18 @@ double max_spread(const std::vector<std::vector<double>>& rows);
 // to sequential ones.
 
 /// Per-sequence seeds: seeds[i] fully determines sequence i (empty batch
-/// yields an empty vector).
+/// yields an empty vector). The derivation rule is fixed API contract:
+/// seeds[i] is the (i+1)-th raw draw of Rng(seed). Both the closed-batch
+/// calls (core::BatchEncoderSim::run_*_batch) and the per-request serving
+/// path (serve::StarServer, which uses sequence_seed(request_seed, 0))
+/// derive engine seeds through this one rule, so fault-injection streams
+/// stay reproducible across both APIs.
 std::vector<std::uint64_t> sequence_seeds(std::size_t batch, std::uint64_t seed);
+
+/// Single-element form of the rule above: the seed of sequence `index` in a
+/// batch seeded with `seed` — sequence_seeds(n, seed)[index] for any
+/// n > index, computed without materialising the vector (O(index) draws).
+std::uint64_t sequence_seed(std::uint64_t seed, std::size_t index);
 
 /// B independent synthetic attention inputs for one head.
 std::vector<QkvTriple> qkv_batch(std::size_t batch, std::size_t seq_len,

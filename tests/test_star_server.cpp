@@ -1,0 +1,478 @@
+// serve::StarServer: the asynchronous submit() -> future front end.
+//
+// The load-bearing property is the per-request determinism contract: a
+// response payload depends only on (request payload, request run_seed) and
+// is bit-identical to a solo closed-batch run — never on batch placement,
+// batcher policy, submission order or thread count. The rest covers the
+// admission policies (block / reject / shed-oldest), future exception
+// propagation, drain/shutdown semantics and stats accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <numeric>
+#include <vector>
+
+#include "core/batch_encoder.hpp"
+#include "serve/request.hpp"
+#include "serve/star_server.hpp"
+#include "sim/batch_scheduler.hpp"
+#include "util/status.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace star {
+namespace {
+
+core::StarConfig tiny_cfg() {
+  core::StarConfig cfg;
+  cfg.max_seq_len = 128;
+  return cfg;
+}
+
+const nn::BertConfig kBert = nn::BertConfig::tiny();
+
+/// Shared model for the whole binary: construction is the expensive part
+/// and the model is immutable by contract.
+const core::BatchEncoderSim& shared_model() {
+  static const core::BatchEncoderSim model(tiny_cfg(), kBert);
+  return model;
+}
+
+std::vector<nn::Tensor> test_inputs(std::size_t n, std::uint64_t seed,
+                                    std::size_t seq_len = 10) {
+  return workload::embedding_batch(
+      n, seq_len, static_cast<std::size_t>(kBert.d_model), 1.0, seed);
+}
+
+/// The reference a served request must match bit-for-bit: a solo
+/// closed-batch run with the request's own run_seed.
+nn::Tensor solo_reference(const core::BatchEncoderSim& model,
+                          const nn::Tensor& input, std::uint64_t run_seed) {
+  sim::BatchScheduler solo(1);
+  const nn::Tensor one[] = {input};
+  auto out = model.run_encoder_batch(one, solo, run_seed);
+  return std::move(out[0]);
+}
+
+// ---------- determinism contract ----------
+
+TEST(StarServer, SingleRequestMatchesSoloClosedBatchRun) {
+  const auto& model = shared_model();
+  const auto inputs = test_inputs(1, 0xA11CE);
+  const std::uint64_t run_seed = 0xD00D;
+  const nn::Tensor expected = solo_reference(model, inputs[0], run_seed);
+
+  sim::BatchScheduler sched(2);
+  serve::StarServer server(model, sched);
+  auto fut = server.submit(serve::EncoderRequest{inputs[0], run_seed});
+  const auto resp = fut.get();
+  EXPECT_TRUE(nn::Tensor::bit_identical(resp.output, expected));
+  EXPECT_EQ(resp.stats.batch_size, 1u);
+}
+
+TEST(StarServer, ResponsesIndependentOfBatchPlacement) {
+  // The same request served alone and served inside a crowded batch must
+  // produce the identical payload.
+  const auto& model = shared_model();
+  const auto inputs = test_inputs(8, 0xBEE);
+  std::vector<nn::Tensor> expected;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    expected.push_back(solo_reference(model, inputs[i], 0x100 + i));
+  }
+
+  sim::BatchScheduler sched(4);
+  serve::ServerOptions opts;
+  opts.batcher.max_batch = 8;  // everything coalesces into one batch
+  opts.batcher.max_wait_ticks = 1000;
+  serve::StarServer server(model, sched, opts);
+
+  std::vector<std::future<serve::EncoderResponse>> futs;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    futs.push_back(server.submit(serve::EncoderRequest{inputs[i], 0x100 + i}));
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    EXPECT_TRUE(nn::Tensor::bit_identical(futs[i].get().output, expected[i]))
+        << "request " << i;
+  }
+}
+
+TEST(StarServer, ShuffledSubmissionOrderSameResults) {
+  const auto& model = shared_model();
+  const auto inputs = test_inputs(10, 0x0DDB);
+  std::vector<nn::Tensor> expected;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    expected.push_back(solo_reference(model, inputs[i], 0x9000 + i));
+  }
+
+  std::vector<std::size_t> order(inputs.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(0x5107);  // deterministic shuffle
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[static_cast<std::size_t>(
+                                rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+  }
+
+  sim::BatchScheduler sched(3);
+  serve::ServerOptions opts;
+  opts.batcher.max_batch = 3;
+  serve::StarServer server(model, sched, opts);
+  std::vector<std::future<serve::EncoderResponse>> futs(inputs.size());
+  for (const std::size_t i : order) {
+    futs[i] = server.submit(serve::EncoderRequest{inputs[i], 0x9000 + i});
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    EXPECT_TRUE(nn::Tensor::bit_identical(futs[i].get().output, expected[i]))
+        << "request " << i;
+  }
+}
+
+TEST(StarServer, FaultInjectionStreamsReproducibleAcrossApis) {
+  // cam_miss_prob > 0 makes the per-request RNG stream decide sampled
+  // faults; the serve path must draw the same stream as a solo batch call.
+  core::StarConfig cfg = tiny_cfg();
+  cfg.cam_miss_prob = 0.02;
+  const core::BatchEncoderSim model(cfg, kBert);
+  const auto inputs = test_inputs(4, 0xFA57);
+
+  sim::BatchScheduler sched(2);
+  serve::StarServer server(model, sched);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const std::uint64_t run_seed = 0x7000 + i;
+    auto fut = server.submit(serve::EncoderRequest{inputs[i], run_seed});
+    EXPECT_TRUE(nn::Tensor::bit_identical(
+        fut.get().output, solo_reference(model, inputs[i], run_seed)));
+  }
+}
+
+// ---------- policy x thread-count sweep ----------
+
+class ServerPolicySweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ServerPolicySweep, BitIdenticalToSoloRunsEverywhere) {
+  const auto [threads, max_batch, max_wait_ticks] = GetParam();
+  const auto& model = shared_model();
+  const auto inputs = test_inputs(7, 0x5EEDED, 8);
+  std::vector<nn::Tensor> expected;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    expected.push_back(solo_reference(model, inputs[i], 0x4242 + i));
+  }
+
+  sim::BatchScheduler sched(threads);
+  serve::ServerOptions opts;
+  opts.batcher.max_batch = static_cast<std::size_t>(max_batch);
+  opts.batcher.max_wait_ticks = static_cast<std::uint32_t>(max_wait_ticks);
+  serve::StarServer server(model, sched, opts);
+
+  std::vector<std::future<serve::EncoderResponse>> futs;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    futs.push_back(server.submit(serve::EncoderRequest{inputs[i], 0x4242 + i}));
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    EXPECT_TRUE(nn::Tensor::bit_identical(futs[i].get().output, expected[i]))
+        << "threads=" << threads << " max_batch=" << max_batch
+        << " max_wait_ticks=" << max_wait_ticks << " request " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, ServerPolicySweep,
+    ::testing::Combine(::testing::Values(1, 2, 5),   // scheduler threads
+                       ::testing::Values(1, 3, 16),  // batcher max_batch
+                       ::testing::Values(0, 4)));    // batcher max_wait_ticks
+
+// ---------- attention + analytic variants ----------
+
+TEST(StarServer, AttentionVariantMatchesSoloRun) {
+  const auto& model = shared_model();
+  const auto qkv = workload::qkv_batch(3, 10, 16, 2.0, 0xF00D);
+  sim::BatchScheduler sched(2);
+  serve::StarServer server(model, sched);
+
+  for (std::size_t i = 0; i < qkv.size(); ++i) {
+    const std::uint64_t run_seed = 0xAA00 + i;
+    auto fut = server.submit(serve::AttentionRequest{qkv[i], run_seed});
+    const auto resp = fut.get();
+
+    sim::BatchScheduler solo(1);
+    const workload::QkvTriple one[] = {qkv[i]};
+    const auto ref = model.run_attention_batch(one, solo, run_seed);
+    EXPECT_TRUE(nn::Tensor::bit_identical(resp.result.output, ref[0].output));
+    EXPECT_TRUE(nn::Tensor::bit_identical(resp.result.probabilities,
+                                          ref[0].probabilities));
+  }
+}
+
+TEST(StarServer, AnalyticVariantMatchesDirectRun) {
+  const auto& model = shared_model();
+  sim::BatchScheduler sched(2);
+  serve::StarServer server(model, sched);
+  for (const std::int64_t len : {32, 64, 128}) {
+    auto fut = server.submit(serve::AnalyticRequest{len});
+    const auto resp = fut.get();
+    const auto direct = model.accelerator().run_attention_layer(kBert, len);
+    EXPECT_DOUBLE_EQ(resp.result.latency.as_s(), direct.latency.as_s());
+    EXPECT_DOUBLE_EQ(resp.result.energy.as_J(), direct.energy.as_J());
+    EXPECT_DOUBLE_EQ(resp.result.power.as_W(), direct.power.as_W());
+  }
+}
+
+// ---------- admission control ----------
+
+/// Options that park requests in the queue: a far-future age-out deadline
+/// and a batch size the test never fills, so admission behaviour is
+/// observable before any dispatch happens.
+serve::ServerOptions parked_queue_opts(std::size_t max_queue,
+                                       serve::AdmissionPolicy policy) {
+  serve::ServerOptions opts;
+  opts.max_queue = max_queue;
+  opts.admission = policy;
+  opts.batcher.max_batch = 1000;
+  opts.batcher.max_wait_ticks = 1000;
+  opts.batcher.tick = std::chrono::microseconds(100000);  // 100 s age-out
+  return opts;
+}
+
+TEST(StarServer, RejectPolicyFailsNewRequestFuture) {
+  const auto& model = shared_model();
+  const auto inputs = test_inputs(2, 0xCAFE, 6);
+  sim::BatchScheduler sched(1);
+  serve::StarServer server(
+      model, sched, parked_queue_opts(1, serve::AdmissionPolicy::kReject));
+
+  auto first = server.submit(serve::EncoderRequest{inputs[0], 1});
+  auto second = server.submit(serve::EncoderRequest{inputs[1], 2});
+  EXPECT_THROW(second.get(), serve::RejectedError);
+
+  server.shutdown();  // dispatches the parked request
+  EXPECT_TRUE(nn::Tensor::bit_identical(first.get().output,
+                                        solo_reference(model, inputs[0], 1)));
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(StarServer, ShedOldestPolicyEvictsTheOldestPending) {
+  const auto& model = shared_model();
+  const auto inputs = test_inputs(2, 0xD0E, 6);
+  sim::BatchScheduler sched(1);
+  serve::StarServer server(
+      model, sched, parked_queue_opts(1, serve::AdmissionPolicy::kShedOldest));
+
+  auto oldest = server.submit(serve::EncoderRequest{inputs[0], 1});
+  auto newest = server.submit(serve::EncoderRequest{inputs[1], 2});
+  EXPECT_THROW(oldest.get(), serve::ShedError);
+
+  server.shutdown();
+  EXPECT_TRUE(nn::Tensor::bit_identical(newest.get().output,
+                                        solo_reference(model, inputs[1], 2)));
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(StarServer, ShedErrorIsAnAdmissionError) {
+  // Callers may catch the policy-agnostic base type.
+  const auto& model = shared_model();
+  const auto inputs = test_inputs(2, 0xE44, 6);
+  sim::BatchScheduler sched(1);
+  serve::StarServer server(
+      model, sched, parked_queue_opts(1, serve::AdmissionPolicy::kShedOldest));
+  auto oldest = server.submit(serve::EncoderRequest{inputs[0], 1});
+  auto newest = server.submit(serve::EncoderRequest{inputs[1], 2});
+  EXPECT_THROW(oldest.get(), serve::AdmissionError);
+  server.shutdown();
+  newest.get();
+}
+
+TEST(StarServer, BlockPolicyThrottlesButServesEverything) {
+  // A tiny queue with a fast batcher: submitters block transiently, but
+  // every request is eventually admitted, served and correct.
+  const auto& model = shared_model();
+  const auto inputs = test_inputs(12, 0xB10C, 6);
+  sim::BatchScheduler sched(2);
+  serve::ServerOptions opts;
+  opts.max_queue = 2;
+  opts.admission = serve::AdmissionPolicy::kBlock;
+  opts.batcher.max_batch = 2;
+  opts.batcher.max_wait_ticks = 0;  // dispatch immediately
+  serve::StarServer server(model, sched, opts);
+
+  std::vector<std::future<serve::EncoderResponse>> futs;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    futs.push_back(server.submit(serve::EncoderRequest{inputs[i], 0x600 + i}));
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    EXPECT_TRUE(nn::Tensor::bit_identical(
+        futs[i].get().output, solo_reference(model, inputs[i], 0x600 + i)));
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.admitted, inputs.size());
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST(StarServer, SubmitAfterShutdownIsRejected) {
+  const auto& model = shared_model();
+  const auto inputs = test_inputs(1, 0x511, 6);
+  sim::BatchScheduler sched(1);
+  serve::StarServer server(model, sched);
+  server.shutdown();
+  auto fut = server.submit(serve::EncoderRequest{inputs[0], 1});
+  EXPECT_THROW(fut.get(), serve::RejectedError);
+  EXPECT_EQ(server.stats().rejected, 1u);
+}
+
+// ---------- exception propagation + lifecycle ----------
+
+TEST(StarServer, ComputeExceptionPropagatesThroughOwnFutureOnly) {
+  const auto& model = shared_model();
+  const auto good = test_inputs(1, 0x60D, 6);
+  // Wrong width: run_encoder_one's d_model precondition fails in the job.
+  Rng rng(1);
+  const nn::Tensor bad = nn::Tensor::randn(
+      6, static_cast<std::size_t>(kBert.d_model) + 1, rng, 0.0, 1.0);
+
+  sim::BatchScheduler sched(2);
+  serve::ServerOptions opts;
+  opts.batcher.max_batch = 2;  // bad + good coalesce into one batch
+  opts.batcher.max_wait_ticks = 1000;
+  serve::StarServer server(model, sched, opts);
+
+  auto bad_fut = server.submit(serve::EncoderRequest{bad, 1});
+  auto good_fut = server.submit(serve::EncoderRequest{good[0], 2});
+  EXPECT_THROW(bad_fut.get(), InvalidArgument);
+  EXPECT_TRUE(nn::Tensor::bit_identical(good_fut.get().output,
+                                        solo_reference(model, good[0], 2)));
+
+  // The server survives a failed request and keeps serving.
+  auto again = server.submit(serve::EncoderRequest{good[0], 3});
+  EXPECT_TRUE(nn::Tensor::bit_identical(again.get().output,
+                                        solo_reference(model, good[0], 3)));
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(StarServer, DrainWaitsForAllAdmittedRequests) {
+  const auto& model = shared_model();
+  const auto inputs = test_inputs(6, 0xD8A1, 6);
+  sim::BatchScheduler sched(2);
+  serve::ServerOptions opts;
+  opts.batcher.max_batch = 2;
+  serve::StarServer server(model, sched, opts);
+
+  std::vector<std::future<serve::EncoderResponse>> futs;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    futs.push_back(server.submit(serve::EncoderRequest{inputs[i], i}));
+  }
+  server.drain();
+  for (auto& fut : futs) {
+    EXPECT_EQ(fut.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+  EXPECT_EQ(server.pending(), 0u);
+  EXPECT_EQ(server.stats().completed, inputs.size());
+}
+
+TEST(StarServer, DestructorResolvesEveryAdmittedFuture) {
+  const auto& model = shared_model();
+  const auto inputs = test_inputs(5, 0xDEAD, 6);
+  std::vector<std::future<serve::EncoderResponse>> futs;
+  {
+    sim::BatchScheduler sched(2);
+    serve::ServerOptions opts;
+    opts.batcher.max_batch = 1000;  // park everything until shutdown drains
+    opts.batcher.max_wait_ticks = 1000;
+    opts.batcher.tick = std::chrono::microseconds(100000);
+    serve::StarServer server(model, sched, opts);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      futs.push_back(server.submit(serve::EncoderRequest{inputs[i], i}));
+    }
+  }  // ~StarServer: shutdown() dispatches the parked batch
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    EXPECT_TRUE(nn::Tensor::bit_identical(futs[i].get().output,
+                                          solo_reference(model, inputs[i], i)));
+  }
+}
+
+TEST(StarServer, ShutdownIsIdempotent) {
+  const auto& model = shared_model();
+  sim::BatchScheduler sched(1);
+  serve::StarServer server(model, sched);
+  server.shutdown();
+  EXPECT_NO_THROW(server.shutdown());
+}
+
+// ---------- stats accounting ----------
+
+TEST(StarServer, StatsAccounting) {
+  const auto& model = shared_model();
+  const auto inputs = test_inputs(9, 0x57A7, 6);
+  sim::BatchScheduler sched(3);
+  serve::ServerOptions opts;
+  opts.batcher.max_batch = 4;
+  serve::StarServer server(model, sched, opts);
+
+  std::vector<std::future<serve::EncoderResponse>> futs;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    futs.push_back(server.submit(serve::EncoderRequest{inputs[i], i}));
+  }
+  for (auto& fut : futs) {
+    fut.get();
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, inputs.size());
+  EXPECT_EQ(stats.admitted, inputs.size());
+  EXPECT_EQ(stats.completed, inputs.size());
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.batches, (inputs.size() + opts.batcher.max_batch - 1) /
+                               opts.batcher.max_batch);
+  EXPECT_LE(stats.batch_occupancy_max, opts.batcher.max_batch);
+  EXPECT_GT(stats.batch_occupancy_mean, 0.0);
+  EXPECT_GE(stats.queue_wait_p99_s, 0.0);
+  // Nearest-rank p99 over <100 samples is the max, which bounds the mean.
+  EXPECT_GE(stats.queue_wait_p99_s, stats.queue_wait_mean_s);
+  EXPECT_GT(stats.service_mean_s, 0.0);
+  EXPECT_GE(stats.service_p99_s, stats.service_mean_s);
+}
+
+TEST(StarServer, RequestStatsDescribeBatchPlacement) {
+  const auto& model = shared_model();
+  const auto inputs = test_inputs(4, 0x9A7C, 6);
+  sim::BatchScheduler sched(2);
+  serve::ServerOptions opts;
+  opts.batcher.max_batch = 4;
+  opts.batcher.max_wait_ticks = 1000;  // wait for the full batch
+  serve::StarServer server(model, sched, opts);
+
+  std::vector<std::future<serve::EncoderResponse>> futs;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    futs.push_back(server.submit(serve::EncoderRequest{inputs[i], i}));
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const auto resp = futs[i].get();
+    EXPECT_EQ(resp.stats.batch_size, inputs.size());
+    EXPECT_EQ(resp.stats.batch_id, 0u);
+    EXPECT_GE(resp.stats.queue_wait_s, 0.0);
+    EXPECT_GE(resp.stats.service_s, 0.0);
+  }
+}
+
+// ---------- invalid configuration ----------
+
+TEST(StarServer, RejectsInvalidOptions) {
+  const auto& model = shared_model();
+  sim::BatchScheduler sched(1);
+  serve::ServerOptions zero_queue;
+  zero_queue.max_queue = 0;
+  EXPECT_THROW(serve::StarServer(model, sched, zero_queue), InvalidArgument);
+  serve::ServerOptions zero_batch;
+  zero_batch.batcher.max_batch = 0;
+  EXPECT_THROW(serve::StarServer(model, sched, zero_batch), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace star

@@ -11,6 +11,7 @@
 #include "util/rng.hpp"
 #include "util/status.hpp"
 #include "workload/accuracy_proxy.hpp"
+#include "workload/arrival_trace.hpp"
 #include "workload/dataset_profile.hpp"
 #include "workload/trace_gen.hpp"
 
@@ -188,6 +189,76 @@ TEST(DefaultLutFracBits, TracksOperandWidthWithCap) {
   EXPECT_EQ(default_lut_frac_bits(fxp::kCnewsFormat), 11);
   EXPECT_EQ(default_lut_frac_bits(fxp::kMrpcFormat), 12);
   EXPECT_EQ(default_lut_frac_bits(fxp::make_unsigned(10, 4)), 15);  // capped
+}
+
+// ---------- per-sequence seed derivation (the shared batch/serve rule) ----------
+
+TEST(SequenceSeeds, SingleElementFormMatchesVectorForm) {
+  const std::uint64_t run_seed = 0xDECAF;
+  const auto seeds = sequence_seeds(9, run_seed);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(sequence_seed(run_seed, i), seeds[i]) << "index " << i;
+  }
+}
+
+TEST(SequenceSeeds, RuleIsTheIthDrawOfTheParentStream) {
+  const std::uint64_t run_seed = 0x5EED;
+  Rng parent(run_seed);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(sequence_seed(run_seed, i), parent());
+  }
+}
+
+// ---------- open-loop arrival traces ----------
+
+TEST(ArrivalTrace, DeterministicGivenSeed) {
+  const auto a = ArrivalTrace::generate(64, ArrivalProcess::kPoisson, 3.0, 17);
+  const auto b = ArrivalTrace::generate(64, ArrivalProcess::kPoisson, 3.0, 17);
+  ASSERT_EQ(a.size(), 64u);
+  EXPECT_EQ(a.arrival_ticks, b.arrival_ticks);
+  const auto c = ArrivalTrace::generate(64, ArrivalProcess::kPoisson, 3.0, 18);
+  EXPECT_NE(a.arrival_ticks, c.arrival_ticks);
+}
+
+TEST(ArrivalTrace, NonDecreasingAndNonNegative) {
+  for (const auto process : {ArrivalProcess::kPoisson, ArrivalProcess::kUniform}) {
+    const auto t = ArrivalTrace::generate(200, process, 1.5, 7);
+    double prev = 0.0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      EXPECT_GE(t.arrival_ticks[i], prev);
+      EXPECT_GE(t.inter_arrival_ticks(i), 0.0);
+      prev = t.arrival_ticks[i];
+    }
+    EXPECT_DOUBLE_EQ(t.makespan_ticks(), t.arrival_ticks.back());
+  }
+}
+
+TEST(ArrivalTrace, MeanInterArrivalApproximatelyControlled) {
+  constexpr std::size_t kN = 4000;
+  constexpr double kMean = 2.0;
+  for (const auto process : {ArrivalProcess::kPoisson, ArrivalProcess::kUniform}) {
+    const auto t = ArrivalTrace::generate(kN, process, kMean, 99);
+    const double empirical = t.makespan_ticks() / static_cast<double>(kN);
+    EXPECT_NEAR(empirical, kMean, 0.15 * kMean);
+  }
+}
+
+TEST(ArrivalTrace, UniformGapsAreBounded) {
+  const auto t = ArrivalTrace::generate(500, ArrivalProcess::kUniform, 2.5, 3);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_LT(t.inter_arrival_ticks(i), 5.0);
+  }
+}
+
+TEST(ArrivalTrace, ProcessesDifferAndEmptyTraceIsSane) {
+  const auto p = ArrivalTrace::generate(32, ArrivalProcess::kPoisson, 1.0, 5);
+  const auto u = ArrivalTrace::generate(32, ArrivalProcess::kUniform, 1.0, 5);
+  EXPECT_NE(p.arrival_ticks, u.arrival_ticks);
+  const auto e = ArrivalTrace::generate(0, ArrivalProcess::kPoisson, 1.0, 5);
+  EXPECT_TRUE(e.empty());
+  EXPECT_DOUBLE_EQ(e.makespan_ticks(), 0.0);
+  EXPECT_THROW(ArrivalTrace::generate(4, ArrivalProcess::kPoisson, 0.0, 5),
+               InvalidArgument);
 }
 
 }  // namespace
