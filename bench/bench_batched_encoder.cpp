@@ -12,12 +12,20 @@
 // latency and batch occupancy, and verifies every response is bit-identical
 // to a solo closed-batch run of the same request.
 //
+// Part 3 (encoder stack): the analytic multi-layer stack model at the same
+// depth the functional runs use — per-layer latency/energy breakdown plus
+// the vector- vs operand-grained stack makespans and the closed-form
+// speedup check (core::EncoderStackModel).
+//
 // Flags: --threads N   worker threads (default: sweep 1,2,4,8)
 //        --batch B     sequences per closed batch / server run multiplier
 //                      (default 32)
 //        --seqlen L    tokens per sequence (default 48)
+//        --layers N    chained encoder layers per sequence (default:
+//                      bert.layers of the tiny config)
 // The last stdout line is a one-line JSON summary for BENCH_*.json
-// tracking. Wall-clock speedup tracks the physical cores of the host (a
+// tracking, validated by CI (`tail -n 1 | python3 -m json.tool`).
+// Wall-clock speedup tracks the physical cores of the host (a
 // single-core container converges to ~1x; correctness is still exercised).
 #include <chrono>
 #include <climits>
@@ -30,6 +38,7 @@
 #include <vector>
 
 #include "core/batch_encoder.hpp"
+#include "core/encoder_stack.hpp"
 #include "serve/star_server.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -89,14 +98,18 @@ int main(int argc, char** argv) {
   constexpr std::uint64_t kSeed = 0xBA7C4ED;
 
   const nn::BertConfig bert = nn::BertConfig::tiny();
+  const auto num_layers = static_cast<std::int64_t>(
+      parse_flag(argc, argv, "--layers", bert.layers));
   core::StarConfig cfg;
-  const core::BatchEncoderSim model(cfg, bert);
+  const core::BatchEncoderSim model(cfg, bert, 0xB127, num_layers);
   const auto inputs = workload::embedding_batch(
       batch, seq_len, static_cast<std::size_t>(bert.d_model), 1.0, kSeed);
 
   std::printf("Batched encoder simulation: B=%zu sequences, L=%zu, "
-              "d_model=%lld (host reports %u hardware threads)\n\n",
+              "d_model=%lld, %lld-layer stacks (host reports %u hardware "
+              "threads)\n\n",
               batch, seq_len, static_cast<long long>(bert.d_model),
+              static_cast<long long>(num_layers),
               std::thread::hardware_concurrency());
 
   // --- Part 1: closed-batch sweep -----------------------------------------
@@ -105,9 +118,10 @@ int main(int argc, char** argv) {
   // steady-state against steady-state.
   sim::BatchScheduler seq_sched(1);
   std::vector<nn::Tensor> reference;
-  reference = model.run_encoder_batch(inputs, seq_sched);
-  const double t_seq =
-      run_seconds([&] { reference = model.run_encoder_batch(inputs, seq_sched); });
+  reference = model.run_encoder_batch(inputs, seq_sched, 0x5EED, num_layers);
+  const double t_seq = run_seconds([&] {
+    reference = model.run_encoder_batch(inputs, seq_sched, 0x5EED, num_layers);
+  });
 
   const std::vector<int> thread_sweep =
       threads_flag > 0 ? std::vector<int>{static_cast<int>(threads_flag)}
@@ -128,9 +142,9 @@ int main(int argc, char** argv) {
     sim::BatchScheduler sched(threads);
     std::vector<nn::Tensor> out;
     // Warm-up run so pool spin-up is not billed to the measurement.
-    out = model.run_encoder_batch(inputs, sched);
-    const double t =
-        run_seconds([&] { out = model.run_encoder_batch(inputs, sched); });
+    out = model.run_encoder_batch(inputs, sched, 0x5EED, num_layers);
+    const double t = run_seconds(
+        [&] { out = model.run_encoder_batch(inputs, sched, 0x5EED, num_layers); });
     const bool identical = byte_identical(out, reference);
     all_identical = all_identical && identical;
     const double seq_per_s = static_cast<double>(batch) / t;
@@ -162,7 +176,7 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < batch; ++i) {
     const nn::Tensor one[] = {inputs[i]};
     solo_refs.push_back(std::move(
-        model.run_encoder_batch(one, seq_sched, kSeed + i)[0]));
+        model.run_encoder_batch(one, seq_sched, kSeed + i, num_layers)[0]));
   }
 
   sim::BatchScheduler serve_sched(serve_threads);
@@ -181,7 +195,8 @@ int main(int argc, char** argv) {
     const auto due = serve_t0 + std::chrono::microseconds(static_cast<long>(
                                     trace.arrival_ticks[i]));
     std::this_thread::sleep_until(due);
-    futs.push_back(server.submit(serve::EncoderRequest{inputs[i], kSeed + i}));
+    futs.push_back(server.submit(
+        serve::EncoderRequest{inputs[i], kSeed + i, num_layers}));
   }
   bool served_identical = true;
   for (std::size_t i = 0; i < futs.size(); ++i) {
@@ -210,6 +225,29 @@ int main(int argc, char** argv) {
   std::printf("  responses bit-identical to solo closed-batch runs: %s\n",
               served_identical ? "yes" : "NO (BUG)");
 
+  // --- Part 3: analytic multi-layer stack model ---------------------------
+  // The hardware-time view of the same depth: what the vector-grained
+  // inter-layer overlap buys over a stack that barriers at every layer
+  // boundary, plus the per-layer breakdown behind it.
+  const core::EncoderStackModel stack_model(cfg);
+  const auto stack = stack_model.run_encoder_stack(
+      bert, static_cast<std::int64_t>(seq_len), num_layers);
+  std::printf("\nEncoder stack model (N=%lld layers, L=%zu, analytic "
+              "hardware time):\n",
+              static_cast<long long>(stack.num_layers), seq_len);
+  std::printf("  per layer         latency %.3f us (attention %.3f + ffn %.3f),"
+              " energy %.3f uJ\n",
+              stack.layer.latency.as_us(), stack.layer.attention.latency.as_us(),
+              stack.layer.ffn_latency.as_us(), stack.layer.energy.as_uJ());
+  std::printf("  stack makespan    vector-grained %.3f us, layer-barrier "
+              "%.3f us (speedup %.3fx, closed form %.3fx)\n",
+              stack.latency.as_us(), stack.operand_latency.as_us(),
+              stack.stack_speedup, stack.analytic_stack_speedup);
+  std::printf("  stack energy      %.3f uJ, avg power %.1f mW, softmax util "
+              "%.2f\n",
+              stack.energy.as_uJ(), stack.power.as_mW(),
+              stack.softmax_stage_util);
+
   std::printf("\nShared immutable model, per-sequence run state; results are "
               "%s across all modes. rows written to "
               "bench_batched_encoder.csv\n",
@@ -217,16 +255,22 @@ int main(int argc, char** argv) {
 
   // Machine-readable one-line summary (last line of stdout).
   std::printf("{\"bench\":\"bench_batched_encoder\",\"threads\":%d,"
-              "\"batch\":%zu,\"seq_len\":%zu,"
+              "\"batch\":%zu,\"seq_len\":%zu,\"num_layers\":%lld,"
               "\"closed_seq_per_s\":%.2f,\"server_seq_per_s\":%.2f,"
               "\"queue_wait_mean_ms\":%.4f,\"queue_wait_p99_ms\":%.4f,"
               "\"service_mean_ms\":%.4f,\"batch_occupancy_mean\":%.3f,"
-              "\"batches\":%llu,\"identical\":%s}\n",
-              serve_threads, batch, seq_len, closed_seq_per_s,
+              "\"batches\":%llu,"
+              "\"layer_latency_us\":%.4f,\"layer_energy_uj\":%.4f,"
+              "\"stack_makespan_us\":%.4f,\"stack_operand_makespan_us\":%.4f,"
+              "\"stack_speedup\":%.4f,\"identical\":%s}\n",
+              serve_threads, batch, seq_len,
+              static_cast<long long>(stack.num_layers), closed_seq_per_s,
               server_seq_per_s, stats.queue_wait_mean_s * 1e3,
               stats.queue_wait_p99_s * 1e3, stats.service_mean_s * 1e3,
               stats.batch_occupancy_mean,
               static_cast<unsigned long long>(stats.batches),
-              all_identical ? "true" : "false");
+              stack.layer.latency.as_us(), stack.layer.energy.as_uJ(),
+              stack.latency.as_us(), stack.operand_latency.as_us(),
+              stack.stack_speedup, all_identical ? "true" : "false");
   return all_identical ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/batch_encoder.hpp"
+#include "core/encoder_stack.hpp"
 #include "serve/star_server.hpp"
 
 int main() {
@@ -15,7 +16,10 @@ int main() {
 
   core::StarConfig cfg;
   const nn::BertConfig bert = nn::BertConfig::tiny();
-  const core::BatchEncoderSim model(cfg, bert);
+  // Prepare weights for the model's full depth so requests may ask for any
+  // num_layers in [1, bert.layers].
+  const core::BatchEncoderSim model(cfg, bert, 0xB127,
+                                    /*stack_depth=*/bert.layers);
 
   // Four independent sequences of different synthetic embeddings.
   const auto inputs = workload::embedding_batch(
@@ -33,10 +37,11 @@ int main() {
 
   // Submit individual requests; each future resolves to a response that is
   // bit-identical to a solo closed-batch run with the same run_seed.
+  // num_layers chains the request through the whole encoder stack.
   std::vector<std::future<serve::EncoderResponse>> futs;
   for (std::size_t i = 0; i < inputs.size(); ++i) {
-    futs.push_back(server.submit(
-        serve::EncoderRequest{inputs[i], /*run_seed=*/1000 + i}));
+    futs.push_back(server.submit(serve::EncoderRequest{
+        inputs[i], /*run_seed=*/1000 + i, /*num_layers=*/bert.layers}));
   }
   for (std::size_t i = 0; i < futs.size(); ++i) {
     const auto resp = futs[i].get();
@@ -60,6 +65,15 @@ int main() {
                 static_cast<long long>(lens[i]),
                 to_string(resp.result.latency).c_str());
   }
+
+  // The analytic stack model: what vector-grained inter-layer streaming
+  // buys over a stack that barriers at every layer boundary.
+  const core::EncoderStackModel stack_model(cfg);
+  const auto stack = stack_model.run_encoder_stack(bert, /*seq_len=*/16);
+  std::printf("  %lld-layer stack at L=16: %.3f us vector-grained vs "
+              "%.3f us layer-barrier (%.2fx)\n",
+              static_cast<long long>(stack.num_layers), stack.latency.as_us(),
+              stack.operand_latency.as_us(), stack.stack_speedup);
 
   const auto stats = server.stats();
   std::printf("served %llu requests in %llu batches "

@@ -6,28 +6,52 @@ namespace star::core {
 
 namespace {
 
-nn::EncoderLayerWeights make_weights(const nn::BertConfig& bert,
-                                     std::uint64_t weight_seed) {
+std::vector<nn::EncoderLayerWeights> make_weights(const nn::BertConfig& bert,
+                                                  std::uint64_t weight_seed,
+                                                  std::int64_t stack_depth) {
+  require(stack_depth >= 1, "BatchEncoderSim: stack_depth must be >= 1");
+  // One continuing stream: layer l's weights are the same for every depth
+  // >= l + 1, and layer 0 matches the historical single-layer model.
   Rng rng(weight_seed);
-  return nn::EncoderLayerWeights::random(bert, rng);
+  std::vector<nn::EncoderLayerWeights> w;
+  w.reserve(static_cast<std::size_t>(stack_depth));
+  for (std::int64_t l = 0; l < stack_depth; ++l) {
+    w.push_back(nn::EncoderLayerWeights::random(bert, rng));
+  }
+  return w;
 }
 
 }  // namespace
 
 BatchEncoderSim::BatchEncoderSim(const StarConfig& cfg, const nn::BertConfig& bert,
-                                 std::uint64_t weight_seed)
+                                 std::uint64_t weight_seed,
+                                 std::int64_t stack_depth)
     : bert_(bert),
       accel_(cfg),
-      weights_(make_weights(bert, weight_seed)) {
+      weights_(make_weights(bert, weight_seed, stack_depth)) {
   bert_.validate();
 }
 
+const nn::EncoderLayerWeights& BatchEncoderSim::layer_weights(
+    std::int64_t layer) const {
+  require(layer >= 0 && layer < stack_depth(),
+          "layer_weights: layer out of range");
+  return weights_[static_cast<std::size_t>(layer)];
+}
+
 nn::Tensor BatchEncoderSim::run_encoder_one(const nn::Tensor& input,
-                                            std::uint64_t engine_seed) const {
+                                            std::uint64_t engine_seed,
+                                            std::int64_t num_layers) const {
   require(input.cols() == static_cast<std::size_t>(bert_.d_model),
           "run_encoder_one: input width must equal d_model");
+  require(num_layers >= 1 && num_layers <= stack_depth(),
+          "run_encoder_one: num_layers must be in [1, stack_depth]");
   SoftmaxEngineView view(softmax_engine(), engine_seed);
-  return nn::encoder_layer_forward(input, weights_, view);
+  nn::Tensor x = nn::encoder_layer_forward(input, weights_[0], view);
+  for (std::int64_t l = 1; l < num_layers; ++l) {
+    x = nn::encoder_layer_forward(x, weights_[static_cast<std::size_t>(l)], view);
+  }
+  return x;
 }
 
 FunctionalAttentionResult BatchEncoderSim::run_attention_one(
@@ -43,14 +67,14 @@ AttentionRunResult BatchEncoderSim::run_analytic_one(std::int64_t seq_len) const
 
 std::vector<nn::Tensor> BatchEncoderSim::run_encoder_batch(
     std::span<const nn::Tensor> inputs, sim::BatchScheduler& sched,
-    std::uint64_t run_seed) const {
+    std::uint64_t run_seed, std::int64_t num_layers) const {
   for (const auto& x : inputs) {
     require(x.cols() == static_cast<std::size_t>(bert_.d_model),
             "run_encoder_batch: input width must equal d_model");
   }
   const auto seeds = workload::sequence_seeds(inputs.size(), run_seed);
   return sched.map<nn::Tensor>(inputs.size(), [&](std::size_t i) {
-    return run_encoder_one(inputs[i], seeds[i]);
+    return run_encoder_one(inputs[i], seeds[i], num_layers);
   });
 }
 

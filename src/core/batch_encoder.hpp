@@ -36,10 +36,16 @@ namespace star::core {
 
 class BatchEncoderSim {
  public:
-  /// Builds the shared model state: engines from `cfg`, one encoder layer
-  /// of random weights from `weight_seed`.
+  /// Builds the shared model state: engines from `cfg`, `stack_depth`
+  /// encoder layers of random weights from one continuing Rng(weight_seed)
+  /// stream — layer 0's weights are identical for every depth (prefix
+  /// property), so deepening a model never changes shallower results.
+  /// `stack_depth` bounds the `num_layers` a request may ask for; it
+  /// defaults to 1 (the historical single-layer model) and is independent
+  /// of bert.layers so small functional configs can exercise deep stacks.
   BatchEncoderSim(const StarConfig& cfg, const nn::BertConfig& bert,
-                  std::uint64_t weight_seed = 0xB127);
+                  std::uint64_t weight_seed = 0xB127,
+                  std::int64_t stack_depth = 1);
 
   // --- per-sequence entry points (the serving-API execution granule) ---
   //
@@ -49,11 +55,16 @@ class BatchEncoderSim {
   // what serve::StarServer dispatches, and what the closed-batch shims
   // below map over.
 
-  /// Functional path: encoder_layer_forward(input) with the STAR crossbar
-  /// softmax. `engine_seed` seeds the fault-RNG stream (relevant only when
-  /// cfg.cam_miss_prob > 0).
+  /// Functional path: `num_layers` chained encoder_layer_forward passes
+  /// (layer l uses layer_weights(l)) with the STAR crossbar softmax.
+  /// `engine_seed` seeds the fault-RNG stream (relevant only when
+  /// cfg.cam_miss_prob > 0); ONE stream spans the whole chain, so layer
+  /// l's sampled faults depend on the layers before it — exactly as a
+  /// physical pass through the stack would. `num_layers` must be in
+  /// [1, stack_depth()].
   [[nodiscard]] nn::Tensor run_encoder_one(const nn::Tensor& input,
-                                           std::uint64_t engine_seed) const;
+                                           std::uint64_t engine_seed,
+                                           std::int64_t num_layers = 1) const;
 
   /// Full-hardware attention path: attention_on_star(qkv) with both matmuls
   /// on the crossbar MatMul engine.
@@ -71,10 +82,11 @@ class BatchEncoderSim {
   // admits, coalesces and dispatches individual requests dynamically; these
   // remain for existing tests/benches and simple closed-loop studies.
 
-  /// Deprecated shim: out[i] = run_encoder_one(inputs[i], seeds[i]).
+  /// Deprecated shim: out[i] = run_encoder_one(inputs[i], seeds[i],
+  /// num_layers) with seeds[i] = workload::sequence_seed(run_seed, i).
   [[nodiscard]] std::vector<nn::Tensor> run_encoder_batch(
       std::span<const nn::Tensor> inputs, sim::BatchScheduler& sched,
-      std::uint64_t run_seed = 0x5EED) const;
+      std::uint64_t run_seed = 0x5EED, std::int64_t num_layers = 1) const;
 
   /// Deprecated shim: out[i] = run_attention_one(qkv[i], seeds[i]).
   [[nodiscard]] std::vector<FunctionalAttentionResult> run_attention_batch(
@@ -88,7 +100,15 @@ class BatchEncoderSim {
 
   [[nodiscard]] const StarConfig& config() const { return accel_.config(); }
   [[nodiscard]] const nn::BertConfig& bert() const { return bert_; }
-  [[nodiscard]] const nn::EncoderLayerWeights& weights() const { return weights_; }
+  /// How many chained layers this model can serve (weights prepared).
+  [[nodiscard]] std::int64_t stack_depth() const {
+    return static_cast<std::int64_t>(weights_.size());
+  }
+  /// Layer 0's weights — the historical single-layer accessor.
+  [[nodiscard]] const nn::EncoderLayerWeights& weights() const {
+    return weights_.front();
+  }
+  [[nodiscard]] const nn::EncoderLayerWeights& layer_weights(std::int64_t layer) const;
   [[nodiscard]] const StarAccelerator& accelerator() const { return accel_; }
   [[nodiscard]] const SoftmaxEngine& softmax_engine() const {
     return accel_.softmax_engine();
@@ -100,7 +120,7 @@ class BatchEncoderSim {
  private:
   nn::BertConfig bert_;
   StarAccelerator accel_;  ///< owns the one shared engine pair
-  nn::EncoderLayerWeights weights_;
+  std::vector<nn::EncoderLayerWeights> weights_;  ///< one entry per stack layer
 };
 
 }  // namespace star::core

@@ -9,6 +9,14 @@ namespace star::core {
 EncoderModel::EncoderModel(const StarConfig& cfg, SystemOverheads overheads)
     : cfg_(cfg), overheads_(overheads), accel_(cfg, overheads) {}
 
+LayerStageTimes EncoderModel::layer_stage_times(const nn::BertConfig& bert,
+                                                std::int64_t seq_len) const {
+  LayerStageTimes t;
+  t.attention = accel_.stage_times(bert, seq_len);
+  t.ffn_row = accel_.matmul_engine().tile_latency() + overheads_.per_row_overhead;
+  return t;
+}
+
 EncoderRunResult EncoderModel::run_encoder_layer(const nn::BertConfig& bert,
                                                  std::int64_t seq_len) const {
   bert.validate();
@@ -23,7 +31,7 @@ EncoderRunResult EncoderModel::run_encoder_layer(const nn::BertConfig& bert,
   const MatmulEngine& matmul = accel_.matmul_engine();
   const auto ff1 = matmul.stream_cost(seq_len, bert.d_model, bert.d_ff, false);
   const auto ff2 = matmul.stream_cost(seq_len, bert.d_ff, bert.d_model, false);
-  const Time ffn_row = matmul.tile_latency() + overheads_.per_row_overhead;
+  const Time ffn_row = layer_stage_times(bert, seq_len).ffn_row;
   // The two FFN matmuls row-pipeline against each other: one fill plus
   // seq_len rows at the bottleneck rate.
   res.ffn_latency = ffn_row * static_cast<double>(seq_len + 1);

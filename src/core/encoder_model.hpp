@@ -34,6 +34,12 @@ class EncoderModel {
   [[nodiscard]] EncoderRunResult run_encoder_layer(const nn::BertConfig& bert,
                                                    std::int64_t seq_len) const;
 
+  /// The layer's per-row stage services (five attention stages + the FFN
+  /// stripe rate) — the stack-level schedule building block consumed by
+  /// EncoderStackModel / run_stack_pipeline.
+  [[nodiscard]] LayerStageTimes layer_stage_times(const nn::BertConfig& bert,
+                                                  std::int64_t seq_len) const;
+
   [[nodiscard]] const StarAccelerator& accelerator() const { return accel_; }
 
  private:

@@ -58,6 +58,104 @@ PipelineReport run_pipeline(const StageTimes& t, std::size_t rows,
   return rep;
 }
 
+std::vector<sim::Stage> LayerStageTimes::stages() const {
+  auto all = attention.stages();
+  all.push_back(sim::Stage{"ffn1", ffn_row});
+  all.push_back(sim::Stage{"ffn2", ffn_row});
+  return all;
+}
+
+std::vector<sim::Stage> LayerStageTimes::ffn_stages() const {
+  return {sim::Stage{"ffn1", ffn_row}, sim::Stage{"ffn2", ffn_row}};
+}
+
+namespace {
+
+/// One standalone layer, composed exactly as EncoderModel::run_encoder_layer
+/// composes latency: vector-grained attention pipeline, then the FFN's
+/// row-pipelined drain (fill + rows at the stripe rate).
+Time standalone_layer_makespan(const LayerStageTimes& t, std::size_t rows) {
+  const auto attn =
+      sim::simulate(t.attention.stages(), rows, sim::Discipline::kItemGranular,
+                    {}, sim::SimOptions{.record_completion = false});
+  return attn.makespan + t.ffn_row * static_cast<double>(rows + 1);
+}
+
+/// Steady-state segment: layer L's FFN stages streaming rows directly into
+/// layer L+1's attention stages (no barrier at the layer boundary).
+Time stack_segment_makespan(const LayerStageTimes& producer,
+                            const LayerStageTimes& consumer, std::size_t rows) {
+  auto stages = producer.ffn_stages();
+  const auto attn = consumer.attention.stages();
+  stages.insert(stages.end(), attn.begin(), attn.end());
+  return sim::simulate(stages, rows, sim::Discipline::kItemGranular, {},
+                       sim::SimOptions{.record_completion = false})
+      .makespan;
+}
+
+}  // namespace
+
+StackPipelineReport run_stack_pipeline(std::span<const LayerStageTimes> layers,
+                                       std::size_t rows,
+                                       PipelineDiscipline discipline) {
+  require(!layers.empty(), "run_stack_pipeline: at least one layer required");
+  require(rows >= 1, "run_stack_pipeline: rows must be >= 1");
+
+  StackPipelineReport rep;
+  Time m{};
+  if (discipline == PipelineDiscipline::kVectorGrained) {
+    // [attn_0] then N-1 streamed [ffn_{L-1} + attn_L] segments, then the
+    // last layer's FFN drain. The intra-layer attention -> FFN drain point
+    // makes each segment an independent item-granular schedule, so the
+    // stack makespan is the sum of segment makespans.
+    m = sim::simulate(layers[0].attention.stages(), rows,
+                      sim::Discipline::kItemGranular, {},
+                      sim::SimOptions{.record_completion = false})
+            .makespan;
+    for (std::size_t l = 1; l < layers.size(); ++l) {
+      m += stack_segment_makespan(layers[l - 1], layers[l], rows);
+    }
+    m += layers.back().ffn_row * static_cast<double>(rows + 1);
+  } else {
+    for (const auto& t : layers) {
+      m += standalone_layer_makespan(t, rows);
+    }
+  }
+  rep.makespan = m;
+
+  // Busy seconds are discipline-independent (service * rows per stage).
+  const double n = static_cast<double>(rows);
+  const double span = m.as_s();
+  double softmax_busy = 0.0;
+  double peak_busy = 0.0;
+  for (const auto& t : layers) {
+    softmax_busy += n * t.attention.softmax_row.as_s();
+    for (const auto& s : t.stages()) {
+      peak_busy = std::max(peak_busy, n * s.service.as_s());
+    }
+  }
+  rep.softmax_stage_util = span > 0.0 ? softmax_busy / span : 0.0;
+  rep.bottleneck_util = span > 0.0 ? peak_busy / span : 0.0;
+  return rep;
+}
+
+double analytic_stack_speedup(const LayerStageTimes& t, std::size_t num_layers,
+                              std::size_t rows) {
+  require(num_layers >= 1, "analytic_stack_speedup: num_layers must be >= 1");
+  require(rows >= 1, "analytic_stack_speedup: rows must be >= 1");
+  const double n = static_cast<double>(rows);
+  const double big_n = static_cast<double>(num_layers);
+  const double sum5 = t.attention.sum_stages().as_s();
+  const double max5 = t.attention.max_stage().as_s();
+  const double f = t.ffn_row.as_s();
+  const double attn = sum5 + (n - 1.0) * max5;
+  const double ffn = (n + 1.0) * f;
+  const double steady = sum5 + 2.0 * f + (n - 1.0) * std::max(max5, f);
+  const double vector_t = attn + (big_n - 1.0) * steady + ffn;
+  const double operand_t = big_n * (attn + ffn);
+  return operand_t / vector_t;
+}
+
 double analytic_speedup(const StageTimes& t, std::size_t rows) {
   require(rows >= 1, "analytic_speedup: rows must be >= 1");
   const double n = static_cast<double>(rows);

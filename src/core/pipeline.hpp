@@ -14,6 +14,7 @@
 // closed forms it validates.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -58,5 +59,59 @@ PipelineReport run_pipeline(const StageTimes& t, std::size_t rows,
 /// service times (used by property tests; exact in the constant-service
 /// case).
 double analytic_speedup(const StageTimes& t, std::size_t rows);
+
+// --- multi-layer encoder stacks -----------------------------------------
+//
+// A stacked encoder repeats the per-layer row pipeline N times. Each layer
+// is the five attention stages followed by the two FFN matmul stripes; the
+// layer model (core::EncoderModel) drains the attention block before the
+// FFN starts, and the stack keeps that intra-layer structure. The stack
+// disciplines differ at the LAYER boundary only:
+//
+//  * kVectorGrained — layer L's FFN streams output rows directly into
+//    layer L+1's attention: row i of layer L+1 starts as soon as layer L
+//    produces it. The composed schedule is a chain of item-granular
+//    segments [attn_0] [ffn_0 + attn_1] ... [ffn_{N-2} + attn_{N-1}]
+//    [ffn_{N-1}], each segment a single stack-level sim::Stage vector.
+//  * kOperandGrained — a barrier between layers (prior accelerators hold
+//    the full activation matrix between layers): the stack makespan is the
+//    sum of the standalone layer makespans.
+
+/// Per-row service times of one encoder layer: the five attention stages
+/// plus the two position-wise FFN matmul stages (each serving one
+/// activation row in `ffn_row`).
+struct LayerStageTimes {
+  StageTimes attention;
+  Time ffn_row{};  ///< one row through either FFN stripe (W1 or W2)
+
+  /// The layer's full stack-level stage vector (7 stages).
+  [[nodiscard]] std::vector<sim::Stage> stages() const;
+  /// Just the two FFN stages.
+  [[nodiscard]] std::vector<sim::Stage> ffn_stages() const;
+};
+
+struct StackPipelineReport {
+  Time makespan{};
+  double softmax_stage_util = 0.0;  ///< all layers' softmax busy / makespan
+  double bottleneck_util = 0.0;     ///< peak busy fraction over all 7N stages
+};
+
+/// Makespan of `rows` rows through `layers.size()` stacked encoder layers
+/// (layers may be heterogeneous). With a single layer both disciplines
+/// reduce to the layer's own makespan: attention pipeline + FFN drain,
+/// composed exactly as EncoderModel::run_encoder_layer composes latency.
+StackPipelineReport run_stack_pipeline(std::span<const LayerStageTimes> layers,
+                                       std::size_t rows,
+                                       PipelineDiscipline discipline);
+
+/// Closed-form vector- over operand-grained stack speedup for `num_layers`
+/// identical layers (exact in the constant-service case, which the tests
+/// cross-check against run_stack_pipeline):
+///   A = sum5 + (rows-1)*max5              (one attention segment)
+///   F = (rows+1)*ffn_row                  (one FFN segment)
+///   M = sum5 + 2*ffn_row + (rows-1)*max(max5, ffn_row)   (steady segment)
+///   speedup = N*(A+F) / (A + (N-1)*M + F)
+double analytic_stack_speedup(const LayerStageTimes& t, std::size_t num_layers,
+                              std::size_t rows);
 
 }  // namespace star::core

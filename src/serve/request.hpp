@@ -38,6 +38,11 @@ struct RequestStats {
 struct EncoderRequest {
   nn::Tensor input;  ///< seq_len x d_model embeddings
   std::uint64_t run_seed = kDefaultRunSeed;
+  /// Chained encoder layers to run (multi-layer pipelined stack). Must be
+  /// in [1, model.stack_depth()]; a violation resolves the future with
+  /// InvalidArgument. Part of the determinism contract: the payload is a
+  /// function of (input, run_seed, num_layers).
+  std::int64_t num_layers = 1;
 };
 
 struct EncoderResponse {

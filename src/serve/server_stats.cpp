@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "util/status.hpp"
 
 namespace star::serve {
 
-double percentile(std::vector<double> samples, double p) {
+double percentile(const std::vector<double>& samples, double p) {
   require(p >= 0.0 && p <= 1.0, "percentile: p must be in [0, 1]");
   if (samples.empty()) {
     return 0.0;
@@ -16,10 +17,16 @@ double percentile(std::vector<double> samples, double p) {
   const auto rank = static_cast<std::size_t>(
       std::clamp(std::ceil(p * static_cast<double>(samples.size())) - 1.0, 0.0,
                  static_cast<double>(samples.size() - 1)));
-  std::nth_element(samples.begin(),
-                   samples.begin() + static_cast<std::ptrdiff_t>(rank),
-                   samples.end());
-  return samples[rank];
+  // Select through an index buffer rather than copying the reservoir:
+  // snapshot() calls this twice per poll and the reservoir caps at
+  // kMaxLatencySamples, so the two by-value copies were its whole cost.
+  std::vector<std::uint32_t> idx(samples.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(rank),
+                   idx.end(), [&samples](std::uint32_t a, std::uint32_t b) {
+                     return samples[a] < samples[b];
+                   });
+  return samples[idx[rank]];
 }
 
 void StatsAccumulator::on_batch(std::size_t occupancy) {

@@ -23,7 +23,12 @@ struct ServerStats {
   std::uint64_t failed = 0;      ///< future resolved with a compute exception
   std::uint64_t batches = 0;     ///< batches dispatched to the scheduler
 
-  // Latency distributions over completed + failed requests, seconds.
+  // Latency distributions over completed + failed requests, seconds. Means
+  // are exact running sums. The p99s are nearest-rank percentiles of the
+  // fixed-size latency reservoir: exact while the server has seen at most
+  // StatsAccumulator::kMaxLatencySamples completions, and thereafter an
+  // estimate over a uniform *reservoir sample* of all completions so far —
+  // not over every completion.
   double queue_wait_mean_s = 0.0;
   double queue_wait_p99_s = 0.0;
   double service_mean_s = 0.0;
@@ -66,7 +71,8 @@ class StatsAccumulator {
   Rng reservoir_rng_{0x57A75E54};
 };
 
-/// p in [0, 1] quantile of `samples` (nearest-rank); 0 when empty.
-double percentile(std::vector<double> samples, double p);
+/// p in [0, 1] quantile of `samples` (nearest-rank); 0 when empty. Selects
+/// via an index buffer, so `samples` itself is neither copied nor reordered.
+double percentile(const std::vector<double>& samples, double p);
 
 }  // namespace star::serve

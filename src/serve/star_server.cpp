@@ -112,7 +112,7 @@ std::future<EncoderResponse> StarServer::submit(EncoderRequest req) {
   return submit_impl<EncoderResponse>([this, req = std::move(req)] {
     EncoderResponse resp;
     resp.output = model_.run_encoder_one(
-        req.input, workload::sequence_seed(req.run_seed, 0));
+        req.input, workload::sequence_seed(req.run_seed, 0), req.num_layers);
     return resp;
   });
 }

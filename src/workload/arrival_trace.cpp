@@ -1,6 +1,7 @@
 #include "workload/arrival_trace.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "util/rng.hpp"
 #include "util/status.hpp"
@@ -12,15 +13,34 @@ double ArrivalTrace::inter_arrival_ticks(std::size_t i) const {
   return i == 0 ? arrival_ticks[0] : arrival_ticks[i] - arrival_ticks[i - 1];
 }
 
+ArrivalTrace ArrivalTrace::from_gaps(const std::vector<double>& gaps) {
+  ArrivalTrace trace;
+  trace.arrival_ticks.reserve(gaps.size());
+  double t = 0.0;
+  for (const double gap : gaps) {
+    require(gap >= 0.0 && std::isfinite(gap),
+            "ArrivalTrace: gaps must be finite and non-negative");
+    double next = t + gap;
+    if (!(next > t)) {
+      // A zero gap, or one absorbed by the addition (t >> gap), would
+      // duplicate the previous tick; nudge to the next representable
+      // double to keep the trace strictly increasing.
+      next = std::nextafter(t, std::numeric_limits<double>::infinity());
+    }
+    t = next;
+    trace.arrival_ticks.push_back(t);
+  }
+  return trace;
+}
+
 ArrivalTrace ArrivalTrace::generate(std::size_t n, ArrivalProcess process,
                                     double mean_inter_arrival_ticks,
                                     std::uint64_t seed) {
   require(mean_inter_arrival_ticks > 0.0,
           "ArrivalTrace: mean inter-arrival time must be positive");
   Rng rng(seed);
-  ArrivalTrace trace;
-  trace.arrival_ticks.reserve(n);
-  double t = 0.0;
+  std::vector<double> gaps;
+  gaps.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     double gap = 0.0;
     switch (process) {
@@ -32,10 +52,9 @@ ArrivalTrace ArrivalTrace::generate(std::size_t n, ArrivalProcess process,
         gap = rng.uniform(0.0, 2.0 * mean_inter_arrival_ticks);
         break;
     }
-    t += gap;
-    trace.arrival_ticks.push_back(t);
+    gaps.push_back(gap);
   }
-  return trace;
+  return from_gaps(gaps);
 }
 
 }  // namespace star::workload

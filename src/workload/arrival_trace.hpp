@@ -20,8 +20,13 @@ enum class ArrivalProcess {
 };
 
 struct ArrivalTrace {
-  /// Non-decreasing absolute arrival times; arrivals[0] is the first
-  /// request's offset from the trace start.
+  /// Strictly increasing absolute arrival times; arrivals[0] is the first
+  /// request's offset from the trace start. Strictness is an invariant of
+  /// every constructor path (generate / from_gaps): a drawn gap of exactly
+  /// zero, or one small enough to be absorbed by floating-point addition
+  /// (t + gap == t), would otherwise produce duplicate ticks that an
+  /// open-loop driver replays as simultaneous arrivals — distorting the
+  /// offered load the batcher sees.
   std::vector<double> arrival_ticks;
 
   [[nodiscard]] std::size_t size() const { return arrival_ticks.size(); }
@@ -41,6 +46,13 @@ struct ArrivalTrace {
   static ArrivalTrace generate(std::size_t n, ArrivalProcess process,
                                double mean_inter_arrival_ticks,
                                std::uint64_t seed);
+
+  /// Accumulates non-negative, finite `gaps` into absolute ticks, nudging
+  /// any tick that would not strictly exceed its predecessor up to the
+  /// next representable double. All generated traces pass through here;
+  /// exposed so the degenerate gap == 0 / absorbed-addition paths are
+  /// directly testable.
+  static ArrivalTrace from_gaps(const std::vector<double>& gaps);
 };
 
 }  // namespace star::workload

@@ -206,6 +206,48 @@ TEST(BatchEncoder, FaultInjectionStreamsArePerSequence) {
   }
 }
 
+TEST(BatchEncoder, ShimSeedDerivationMatchesRunOneRule) {
+  // Regression lock on the documented seed-derivation rule: every deprecated
+  // run_*_batch shim must execute batch index i with engine seed
+  // workload::sequence_seed(run_seed, i) — exactly what a caller composing
+  // run_*_one by hand (or serve::StarServer with index 0) would use. Fault
+  // injection is on so seed drift shows up as a payload difference, not
+  // just silently re-seeded noise.
+  core::StarConfig cfg = tiny_cfg();
+  cfg.cam_miss_prob = 0.02;
+  const nn::BertConfig bert = nn::BertConfig::tiny();
+  const core::BatchEncoderSim model(cfg, bert, 0xB127, /*stack_depth=*/2);
+  const std::uint64_t run_seed = 0xA5EED;
+
+  sim::BatchScheduler sched(3);
+  const auto inputs = workload::embedding_batch(
+      5, 9, static_cast<std::size_t>(bert.d_model), 1.0, 0xC0FFEE);
+  for (const std::int64_t num_layers : {std::int64_t{1}, std::int64_t{2}}) {
+    const auto batched =
+        model.run_encoder_batch(inputs, sched, run_seed, num_layers);
+    ASSERT_EQ(batched.size(), inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const auto one = model.run_encoder_one(
+          inputs[i], workload::sequence_seed(run_seed, i), num_layers);
+      EXPECT_TRUE(nn::Tensor::bit_identical(batched[i], one))
+          << "index " << i << " layers " << num_layers;
+    }
+  }
+
+  const auto qkv = workload::qkv_batch(4, 8, 16, 2.0, 0xF00D);
+  const auto attn_batched = model.run_attention_batch(qkv, sched, run_seed);
+  ASSERT_EQ(attn_batched.size(), qkv.size());
+  for (std::size_t i = 0; i < qkv.size(); ++i) {
+    const auto one =
+        model.run_attention_one(qkv[i], workload::sequence_seed(run_seed, i));
+    EXPECT_TRUE(nn::Tensor::bit_identical(attn_batched[i].output, one.output))
+        << "index " << i;
+    EXPECT_TRUE(nn::Tensor::bit_identical(attn_batched[i].probabilities,
+                                          one.probabilities))
+        << "index " << i;
+  }
+}
+
 // ---------- property sweep: batch x threads x seq_len ----------
 
 class BatchSweep

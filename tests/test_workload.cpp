@@ -220,17 +220,36 @@ TEST(ArrivalTrace, DeterministicGivenSeed) {
   EXPECT_NE(a.arrival_ticks, c.arrival_ticks);
 }
 
-TEST(ArrivalTrace, NonDecreasingAndNonNegative) {
+TEST(ArrivalTrace, StrictlyIncreasingAndNonNegative) {
   for (const auto process : {ArrivalProcess::kPoisson, ArrivalProcess::kUniform}) {
     const auto t = ArrivalTrace::generate(200, process, 1.5, 7);
     double prev = 0.0;
     for (std::size_t i = 0; i < t.size(); ++i) {
-      EXPECT_GE(t.arrival_ticks[i], prev);
+      if (i == 0) {
+        EXPECT_GE(t.arrival_ticks[i], 0.0);
+      } else {
+        EXPECT_GT(t.arrival_ticks[i], prev);
+      }
       EXPECT_GE(t.inter_arrival_ticks(i), 0.0);
       prev = t.arrival_ticks[i];
     }
     EXPECT_DOUBLE_EQ(t.makespan_ticks(), t.arrival_ticks.back());
   }
+}
+
+TEST(ArrivalTrace, ZeroAndAbsorbedGapsStillStrictlyIncrease) {
+  // Degenerate gaps a process can draw: exact zeros (uniform() == 0) and
+  // gaps small enough that t + gap == t in double arithmetic. from_gaps is
+  // the path every generated trace takes; duplicates here would reach the
+  // open-loop bench as simultaneous arrivals.
+  const auto t = ArrivalTrace::from_gaps({0.0, 0.0, 1.0, 1e-300, 0.0, 2.5});
+  ASSERT_EQ(t.size(), 6u);
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GT(t.arrival_ticks[i], t.arrival_ticks[i - 1]) << "i=" << i;
+  }
+  // Non-degenerate gaps are untouched by the nudge.
+  EXPECT_DOUBLE_EQ(t.arrival_ticks[5] - t.arrival_ticks[4], 2.5);
+  EXPECT_THROW(ArrivalTrace::from_gaps({-1.0}), InvalidArgument);
 }
 
 TEST(ArrivalTrace, MeanInterArrivalApproximatelyControlled) {
