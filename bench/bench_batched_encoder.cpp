@@ -17,12 +17,21 @@
 // the vector- vs operand-grained stack makespans and the closed-form
 // speedup check (core::EncoderStackModel).
 //
+// Part 4 (sharded crossbar tiles): the analytic sharded MatMul engine at
+// the paper's BERT-base geometry — one encoder layer with the tile grid
+// split over --shards crossbar shards (explicit H-tree interconnect)
+// versus the monolithic K=1 engine: shard_speedup, interconnect time and
+// link energy (core::ShardedMatmulEngine).
+//
 // Flags: --threads N   worker threads (default: sweep 1,2,4,8)
 //        --batch B     sequences per closed batch / server run multiplier
 //                      (default 32)
 //        --seqlen L    tokens per sequence (default 48)
 //        --layers N    chained encoder layers per sequence (default:
 //                      bert.layers of the tiny config)
+//        --shards K    crossbar shards (default 1 = monolithic; the
+//                      functional/serve parts only validate admission —
+//                      sharding is payload-invariant by construction)
 // The last stdout line is a one-line JSON summary for BENCH_*.json
 // tracking, validated by CI (`tail -n 1 | python3 -m json.tool`).
 // Wall-clock speedup tracks the physical cores of the host (a
@@ -100,7 +109,26 @@ int main(int argc, char** argv) {
   const nn::BertConfig bert = nn::BertConfig::tiny();
   const auto num_layers = static_cast<std::int64_t>(
       parse_flag(argc, argv, "--layers", bert.layers));
+  const auto num_shards =
+      static_cast<std::int64_t>(parse_flag(argc, argv, "--shards", 1));
   core::StarConfig cfg;
+  cfg.num_shards = static_cast<int>(num_shards);  // provision K shards
+  // Fail fast on a --shards value the matmul geometries cannot feed (e.g.
+  // kRow needs K <= the inner dim of every matmul: the tiny config's
+  // score/context stages bound K at min(d_head, seqlen), BERT-base at 64).
+  try {
+    cfg.validate();
+    (void)core::EncoderModel(cfg).layer_stage_times(
+        bert, static_cast<std::int64_t>(seq_len));
+    core::StarConfig base_probe;
+    base_probe.num_shards = static_cast<int>(num_shards);
+    (void)core::EncoderModel(base_probe)
+        .layer_stage_times(nn::BertConfig::base(), 128);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "invalid --shards %lld for this geometry: %s\n",
+                 static_cast<long long>(num_shards), e.what());
+    return 2;
+  }
   const core::BatchEncoderSim model(cfg, bert, 0xB127, num_layers);
   const auto inputs = workload::embedding_batch(
       batch, seq_len, static_cast<std::size_t>(bert.d_model), 1.0, kSeed);
@@ -118,9 +146,9 @@ int main(int argc, char** argv) {
   // steady-state against steady-state.
   sim::BatchScheduler seq_sched(1);
   std::vector<nn::Tensor> reference;
-  reference = model.run_encoder_batch(inputs, seq_sched, 0x5EED, num_layers);
+  reference = model.run_encoder_batch(inputs, seq_sched, 0x5EED, num_layers, num_shards);
   const double t_seq = run_seconds([&] {
-    reference = model.run_encoder_batch(inputs, seq_sched, 0x5EED, num_layers);
+    reference = model.run_encoder_batch(inputs, seq_sched, 0x5EED, num_layers, num_shards);
   });
 
   const std::vector<int> thread_sweep =
@@ -142,9 +170,9 @@ int main(int argc, char** argv) {
     sim::BatchScheduler sched(threads);
     std::vector<nn::Tensor> out;
     // Warm-up run so pool spin-up is not billed to the measurement.
-    out = model.run_encoder_batch(inputs, sched, 0x5EED, num_layers);
+    out = model.run_encoder_batch(inputs, sched, 0x5EED, num_layers, num_shards);
     const double t = run_seconds(
-        [&] { out = model.run_encoder_batch(inputs, sched, 0x5EED, num_layers); });
+        [&] { out = model.run_encoder_batch(inputs, sched, 0x5EED, num_layers, num_shards); });
     const bool identical = byte_identical(out, reference);
     all_identical = all_identical && identical;
     const double seq_per_s = static_cast<double>(batch) / t;
@@ -176,7 +204,7 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < batch; ++i) {
     const nn::Tensor one[] = {inputs[i]};
     solo_refs.push_back(std::move(
-        model.run_encoder_batch(one, seq_sched, kSeed + i, num_layers)[0]));
+        model.run_encoder_batch(one, seq_sched, kSeed + i, num_layers, num_shards)[0]));
   }
 
   sim::BatchScheduler serve_sched(serve_threads);
@@ -196,7 +224,7 @@ int main(int argc, char** argv) {
                                     trace.arrival_ticks[i]));
     std::this_thread::sleep_until(due);
     futs.push_back(server.submit(
-        serve::EncoderRequest{inputs[i], kSeed + i, num_layers}));
+        serve::EncoderRequest{inputs[i], kSeed + i, num_layers, num_shards}));
   }
   bool served_identical = true;
   for (std::size_t i = 0; i < futs.size(); ++i) {
@@ -248,6 +276,36 @@ int main(int argc, char** argv) {
               stack.energy.as_uJ(), stack.power.as_mW(),
               stack.softmax_stage_util);
 
+  // --- Part 4: sharded crossbar tiles (analytic, BERT-base geometry) ------
+  // Sharding is measured at the paper's geometry (768-wide projections,
+  // 3072-wide FFN) where the tile grids are big enough for the shard-local
+  // accumulation trees to beat the monolithic one; the tiny functional
+  // config above only validates admission.
+  const nn::BertConfig bert_base = nn::BertConfig::base();
+  const std::int64_t shard_seq_len = 128;
+  core::StarConfig mono_cfg;  // K = 1 baseline
+  core::StarConfig shard_cfg;
+  shard_cfg.num_shards = static_cast<int>(num_shards);
+  const core::EncoderModel mono_model(mono_cfg);
+  const core::EncoderModel shard_model(shard_cfg);
+  const auto mono_layer = mono_model.run_encoder_layer(bert_base, shard_seq_len);
+  const auto shard_layer = shard_model.run_encoder_layer(bert_base, shard_seq_len);
+  const double shard_speedup = mono_layer.latency / shard_layer.latency;
+  const double interconnect_us = shard_layer.interconnect_latency.as_us();
+
+  std::printf("\nSharded crossbar tiles (analytic, BERT-base, L=%lld, "
+              "policy=%s):\n",
+              static_cast<long long>(shard_seq_len),
+              xbar::to_string(shard_cfg.shard_policy));
+  std::printf("  monolithic layer  latency %.3f us, energy %.3f uJ\n",
+              mono_layer.latency.as_us(), mono_layer.energy.as_uJ());
+  std::printf("  K=%lld shards     latency %.3f us, energy %.3f uJ "
+              "(speedup %.3fx)\n",
+              static_cast<long long>(num_shards), shard_layer.latency.as_us(),
+              shard_layer.energy.as_uJ(), shard_speedup);
+  std::printf("  interconnect      %.3f us merge time, %.3f uJ link traffic\n",
+              interconnect_us, shard_layer.interconnect_energy.as_uJ());
+
   std::printf("\nShared immutable model, per-sequence run state; results are "
               "%s across all modes. rows written to "
               "bench_batched_encoder.csv\n",
@@ -262,7 +320,10 @@ int main(int argc, char** argv) {
               "\"batches\":%llu,"
               "\"layer_latency_us\":%.4f,\"layer_energy_uj\":%.4f,"
               "\"stack_makespan_us\":%.4f,\"stack_operand_makespan_us\":%.4f,"
-              "\"stack_speedup\":%.4f,\"identical\":%s}\n",
+              "\"stack_speedup\":%.4f,"
+              "\"num_shards\":%lld,\"shard_policy\":\"%s\","
+              "\"shard_speedup\":%.4f,\"interconnect_us\":%.4f,"
+              "\"identical\":%s}\n",
               serve_threads, batch, seq_len,
               static_cast<long long>(stack.num_layers), closed_seq_per_s,
               server_seq_per_s, stats.queue_wait_mean_s * 1e3,
@@ -271,6 +332,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.batches),
               stack.layer.latency.as_us(), stack.layer.energy.as_uJ(),
               stack.latency.as_us(), stack.operand_latency.as_us(),
-              stack.stack_speedup, all_identical ? "true" : "false");
+              stack.stack_speedup, static_cast<long long>(num_shards),
+              xbar::to_string(shard_cfg.shard_policy), shard_speedup,
+              interconnect_us, all_identical ? "true" : "false");
   return all_identical ? 0 : 1;
 }

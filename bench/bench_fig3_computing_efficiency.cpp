@@ -4,67 +4,82 @@
 //  GPU, Pipelayer and ReTransformer, STAR improves the computing efficiency
 //  by 30.63x, 4.32x and 1.31x, respectively."
 //
-// BERT-base attention layer, sequence length 128.
+// BERT-base attention layer, headline at sequence length 128, plus a
+// calibration sweep over sequence lengths. All (platform, seq_len) design
+// points run through sim::BatchScheduler on every host core; the batched
+// results are bit-identical to a sequential evaluation (the design points
+// share nothing mutable — tests/test_fig3_sweep.cpp locks this down).
 #include <cstdio>
+#include <thread>
 
-#include "baseline/gpu_model.hpp"
-#include "baseline/pipelayer.hpp"
-#include "baseline/retransformer.hpp"
-#include "core/accelerator.hpp"
+#include "core/design_sweep.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace star;
   const nn::BertConfig bert = nn::BertConfig::base();
-  const std::int64_t seq_len = 128;
+  const std::int64_t headline_len = 128;
+  const std::int64_t seq_lens[] = {64, 128, 256, 384};
 
   core::StarConfig cfg;
   cfg.softmax_format = fxp::kMrpcFormat;  // 9-bit engine geometry (Section III)
 
-  const baseline::GpuModel gpu;
-  const baseline::PipeLayerModel pipelayer(cfg);
-  const baseline::ReTransformerModel retransformer(cfg);
-  const core::StarAccelerator star_acc(cfg);
+  sim::BatchScheduler sched(0);  // all host cores
+  const auto points = core::run_fig3_sweep(cfg, bert, seq_lens, sched);
 
-  const auto g = gpu.run_attention_layer(bert, seq_len);
-  const auto p = pipelayer.run_attention_layer(bert, seq_len);
-  const auto r = retransformer.run_attention_layer(bert, seq_len);
-  const auto s = star_acc.run_attention_layer(bert, seq_len);
+  const auto point_at = [&](core::Fig3Platform platform, std::int64_t L)
+      -> const core::Fig3Point& {
+    for (const auto& p : points) {
+      if (p.platform == platform && p.seq_len == L) {
+        return p;
+      }
+    }
+    std::fprintf(stderr, "missing design point\n");
+    std::exit(1);
+  };
 
-  std::printf("E6 / Fig. 3: computing efficiency (BERT-base attention, L=%lld)\n\n",
-              static_cast<long long>(seq_len));
+  const auto& g = point_at(core::Fig3Platform::kGpu, headline_len);
+  const auto& p = point_at(core::Fig3Platform::kPipeLayer, headline_len);
+  const auto& r = point_at(core::Fig3Platform::kReTransformer, headline_len);
+  const auto& s = point_at(core::Fig3Platform::kStar, headline_len);
+
+  std::printf("E6 / Fig. 3: computing efficiency (BERT-base attention, L=%lld; "
+              "%zu design points on %u host threads)\n\n",
+              static_cast<long long>(headline_len), points.size(),
+              std::thread::hardware_concurrency());
 
   TablePrinter table(
       {"platform", "GOPs/s/W", "latency", "power", "STAR speedup", "paper speedup"});
   const double star_eff = s.report.gops_per_watt();
-  auto add = [&](const hw::RunReport& rep, Time lat, Power pow, const char* paper) {
-    table.add_row({rep.engine_name, TablePrinter::num(rep.gops_per_watt(), 2),
-                   to_string(lat), to_string(pow),
-                   TablePrinter::num(star_eff / rep.gops_per_watt(), 2) + "x", paper});
+  auto add = [&](const core::Fig3Point& pt, const char* paper) {
+    table.add_row({pt.report.engine_name,
+                   TablePrinter::num(pt.report.gops_per_watt(), 2),
+                   to_string(pt.latency), to_string(pt.power),
+                   TablePrinter::num(star_eff / pt.report.gops_per_watt(), 2) + "x",
+                   paper});
   };
-  add(g, g.latency, g.avg_power, "30.63x");
-  add(p.report, p.latency, p.power, "4.32x");
-  add(r.report, r.latency, r.power, "1.31x");
-  add(s.report, s.latency, s.power, "1.00x");
+  add(g, "30.63x");
+  add(p, "4.32x");
+  add(r, "1.31x");
+  add(s, "1.00x");
   table.print();
 
   std::printf("\npaper: STAR = 612.66 GOPs/s/W   measured: %.2f GOPs/s/W\n", star_eff);
   std::printf("STAR: %lld matmul tiles/layer, %d softmax engines, "
               "softmax energy share %.2f%%, pipeline speedup %.2fx\n",
               static_cast<long long>(s.matmul_tiles), s.softmax_engines,
-              100.0 * s.softmax_energy.as_J() / s.energy.as_J(), s.pipeline_speedup);
+              100.0 * s.softmax_energy.as_J() / s.report.energy.as_J(),
+              s.pipeline_speedup);
 
+  // Full sweep: every (platform, seq_len) calibration point.
   CsvWriter csv("bench_fig3.csv");
-  csv.header({"platform", "gops_per_watt", "latency_us", "power_w"});
-  csv.row({"gpu", CsvWriter::num(g.gops_per_watt()), CsvWriter::num(g.latency.as_us()),
-           CsvWriter::num(g.avg_power.as_W())});
-  csv.row({"pipelayer", CsvWriter::num(p.report.gops_per_watt()),
-           CsvWriter::num(p.latency.as_us()), CsvWriter::num(p.power.as_W())});
-  csv.row({"retransformer", CsvWriter::num(r.report.gops_per_watt()),
-           CsvWriter::num(r.latency.as_us()), CsvWriter::num(r.power.as_W())});
-  csv.row({"star", CsvWriter::num(star_eff), CsvWriter::num(s.latency.as_us()),
-           CsvWriter::num(s.power.as_W())});
-  std::printf("rows written to bench_fig3.csv\n");
+  csv.header({"platform", "seq_len", "gops_per_watt", "latency_us", "power_w"});
+  for (const auto& pt : points) {
+    csv.row({to_string(pt.platform), std::to_string(pt.seq_len),
+             CsvWriter::num(pt.report.gops_per_watt()),
+             CsvWriter::num(pt.latency.as_us()), CsvWriter::num(pt.power.as_W())});
+  }
+  std::printf("%zu rows written to bench_fig3.csv\n", points.size());
   return 0;
 }

@@ -8,7 +8,11 @@
 namespace star::core {
 
 StarAccelerator::StarAccelerator(const StarConfig& cfg, SystemOverheads overheads)
-    : cfg_(cfg), overheads_(overheads), matmul_(cfg), softmax_(cfg) {
+    : cfg_(cfg),
+      overheads_(overheads),
+      matmul_(cfg),
+      softmax_(cfg),
+      sharded_(matmul_, cfg, overheads.per_row_overhead) {
   cfg_.validate();
 }
 
@@ -17,23 +21,39 @@ StageTimes StarAccelerator::stage_times(const nn::BertConfig& bert,
   bert.validate();
   require(seq_len >= 2, "stage_times: seq_len must be >= 2");
 
-  const Time mm_row = matmul_.tile_latency() + overheads_.per_row_overhead;
+  StageTimes t;
+  if (cfg_.num_shards == 1) {
+    // The monolithic engine: one calibrated per-row figure for every
+    // matmul stage (the historical model, kept bit-identical).
+    const Time mm_row = matmul_.tile_latency() + overheads_.per_row_overhead;
+    t.proj_row = mm_row;
+    t.score_row = mm_row;
+    t.context_row = mm_row;
+    t.outproj_row = mm_row;
+  } else {
+    // Sharded grids: each stage's row service carries its own shard-local
+    // accumulation share plus the inter-shard merge stream (geometry-
+    // dependent — wide-output stages stream more partial-sum flits).
+    t.proj_row = sharded_.row_service(bert.d_model, bert.d_model);
+    t.score_row = sharded_.row_service(bert.d_head(), seq_len);
+    t.context_row = sharded_.row_service(seq_len, bert.d_head());
+    t.outproj_row = sharded_.row_service(bert.d_model, bert.d_model);
+  }
   const int per_head = std::max(
       1, static_cast<int>(std::ceil(softmax_.row_latency(static_cast<int>(seq_len)) /
-                                    mm_row)));
-  StageTimes t;
-  t.proj_row = mm_row;
-  t.score_row = mm_row;
+                                    t.proj_row)));
   t.softmax_row =
       softmax_.row_latency(static_cast<int>(seq_len)) / static_cast<double>(per_head);
-  t.context_row = mm_row;
-  t.outproj_row = mm_row;
   return t;
 }
 
 int StarAccelerator::engines_needed(const nn::BertConfig& bert,
                                     std::int64_t seq_len) const {
-  const Time mm_row = matmul_.tile_latency() + overheads_.per_row_overhead;
+  // Paced against the projection stage's row service (== the legacy mm_row
+  // when num_shards == 1; stage_times keeps the same pacing).
+  const Time mm_row = cfg_.num_shards == 1
+                          ? matmul_.tile_latency() + overheads_.per_row_overhead
+                          : sharded_.row_service(bert.d_model, bert.d_model);
   const int per_head = std::max(
       1, static_cast<int>(std::ceil(softmax_.row_latency(static_cast<int>(seq_len)) /
                                     mm_row)));
@@ -42,10 +62,12 @@ int StarAccelerator::engines_needed(const nn::BertConfig& bert,
 
 std::int64_t StarAccelerator::tiles_per_layer(const nn::BertConfig& bert,
                                               std::int64_t seq_len) const {
-  const auto proj = matmul_.stream_cost(seq_len, bert.d_model, bert.d_model, false);
-  const auto score = matmul_.stream_cost(seq_len, bert.d_head(), seq_len, true);
-  const auto context = matmul_.stream_cost(seq_len, seq_len, bert.d_head(), true);
-  return 4 * proj.tiles + bert.heads * (score.tiles + context.tiles);
+  // Sharded grids round every slice up to whole tiles, so K > 1 instantiates
+  // at least as many tiles as the monolithic grid (K = 1 delegates exactly).
+  const auto proj = sharded_.stream_cost(seq_len, bert.d_model, bert.d_model, false);
+  const auto score = sharded_.stream_cost(seq_len, bert.d_head(), seq_len, true);
+  const auto context = sharded_.stream_cost(seq_len, seq_len, bert.d_head(), true);
+  return 4 * proj.total.tiles + bert.heads * (score.total.tiles + context.total.tiles);
 }
 
 Area StarAccelerator::total_area(const nn::BertConfig& bert,
@@ -73,15 +95,20 @@ AttentionRunResult StarAccelerator::run_attention_layer(const nn::BertConfig& be
                    PipelineDiscipline::kOperandGrained);
 
   // --- energy ---
-  const auto proj = matmul_.stream_cost(seq_len, bert.d_model, bert.d_model, false);
-  const auto score = matmul_.stream_cost(seq_len, bert.d_head(), seq_len, true);
-  const auto context = matmul_.stream_cost(seq_len, seq_len, bert.d_head(), true);
+  // Sharded stream costs: at K = 1 these delegate to the unsharded engine
+  // (bit-identical totals, zero interconnect); at K > 1 energy already
+  // includes the partial-sum / gather link traffic.
+  const auto proj = sharded_.stream_cost(seq_len, bert.d_model, bert.d_model, false);
+  const auto score = sharded_.stream_cost(seq_len, bert.d_head(), seq_len, true);
+  const auto context = sharded_.stream_cost(seq_len, seq_len, bert.d_head(), true);
   const double heads = static_cast<double>(bert.heads);
 
-  Energy e_mm = proj.energy * 4.0 + (score.energy + context.energy) * heads;
+  Energy e_mm =
+      proj.total.energy * 4.0 + (score.total.energy + context.total.energy) * heads;
   // Dynamic-matrix programming (K^T and V per head). STAR hides the write
   // latency under the projection phase but pays the energy.
-  const Energy e_write = (score.write_energy + context.write_energy) * heads;
+  const Energy e_write =
+      (score.total.write_energy + context.total.write_energy) * heads;
   const Energy e_softmax = softmax_.row_energy(static_cast<int>(seq_len)) *
                            (heads * static_cast<double>(seq_len));
 
@@ -90,6 +117,13 @@ AttentionRunResult StarAccelerator::run_attention_layer(const nn::BertConfig& be
   res.energy = e_mm + e_write + e_softmax;
   res.softmax_energy = e_softmax;
   res.write_energy = e_write;
+  res.num_shards = cfg_.num_shards;
+  res.interconnect_latency =
+      proj.interconnect_latency * 4.0 +
+      (score.interconnect_latency + context.interconnect_latency) * heads;
+  res.interconnect_energy =
+      proj.interconnect_energy * 4.0 +
+      (score.interconnect_energy + context.interconnect_energy) * heads;
   res.softmax_block_latency = t.softmax_row * static_cast<double>(seq_len);
   res.matmul_tiles = tiles_per_layer(bert, seq_len);
   res.softmax_engines = engines_needed(bert, seq_len);

@@ -8,6 +8,7 @@
 #include "core/config.hpp"
 #include "core/matmul_engine.hpp"
 #include "core/pipeline.hpp"
+#include "core/sharded_matmul.hpp"
 #include "core/softmax_engine.hpp"
 #include "hw/report.hpp"
 #include "nn/bert.hpp"
@@ -48,11 +49,21 @@ struct AttentionRunResult {
   std::int64_t matmul_tiles = 0;  ///< tiles instantiated for one layer
   int softmax_engines = 0;
   double pipeline_speedup = 1.0;  ///< vector- vs operand-grained, same HW
+  // Crossbar sharding (all zero / 1 when cfg.num_shards == 1).
+  int num_shards = 1;
+  Time interconnect_latency{};    ///< inter-shard merge time, whole layer
+  Energy interconnect_energy{};   ///< partial-sum / gather link traffic
 };
 
 class StarAccelerator {
  public:
   StarAccelerator(const StarConfig& cfg, SystemOverheads overheads = {});
+
+  // sharded_ points at matmul_, so a memberwise copy would alias the
+  // source accelerator's engine; the model is "one shared engine pair" —
+  // construct in place, never copy.
+  StarAccelerator(const StarAccelerator&) = delete;
+  StarAccelerator& operator=(const StarAccelerator&) = delete;
 
   /// Model one BERT attention layer at sequence length `seq_len` and report
   /// latency / energy / power / GOPs/s/W.
@@ -66,6 +77,9 @@ class StarAccelerator {
 
   [[nodiscard]] MatmulEngine& matmul_engine() { return matmul_; }
   [[nodiscard]] const MatmulEngine& matmul_engine() const { return matmul_; }
+  /// The sharded composition layer over matmul_engine() (provisioned at
+  /// cfg.num_shards; K = 1 delegates to the unsharded path bit-exactly).
+  [[nodiscard]] const ShardedMatmulEngine& sharded_matmul() const { return sharded_; }
   [[nodiscard]] SoftmaxEngine& softmax_engine() { return softmax_; }
   [[nodiscard]] const SoftmaxEngine& softmax_engine() const { return softmax_; }
   [[nodiscard]] const StarConfig& config() const { return cfg_; }
@@ -88,6 +102,7 @@ class StarAccelerator {
   SystemOverheads overheads_;
   MatmulEngine matmul_;
   SoftmaxEngine softmax_;
+  ShardedMatmulEngine sharded_;  ///< references matmul_; declared after it
 };
 
 }  // namespace star::core

@@ -41,11 +41,16 @@ const nn::EncoderLayerWeights& BatchEncoderSim::layer_weights(
 
 nn::Tensor BatchEncoderSim::run_encoder_one(const nn::Tensor& input,
                                             std::uint64_t engine_seed,
-                                            std::int64_t num_layers) const {
+                                            std::int64_t num_layers,
+                                            std::int64_t num_shards) const {
   require(input.cols() == static_cast<std::size_t>(bert_.d_model),
           "run_encoder_one: input width must equal d_model");
   require(num_layers >= 1 && num_layers <= stack_depth(),
           "run_encoder_one: num_layers must be in [1, stack_depth]");
+  require(num_shards >= 1 && num_shards <= config().num_shards,
+          "run_encoder_one: num_shards must be in [1, config().num_shards]");
+  // num_shards only gates admission: the digital partial-sum reduce is
+  // exact, so the payload below is shard-count independent (see header).
   SoftmaxEngineView view(softmax_engine(), engine_seed);
   nn::Tensor x = nn::encoder_layer_forward(input, weights_[0], view);
   for (std::int64_t l = 1; l < num_layers; ++l) {
@@ -67,14 +72,15 @@ AttentionRunResult BatchEncoderSim::run_analytic_one(std::int64_t seq_len) const
 
 std::vector<nn::Tensor> BatchEncoderSim::run_encoder_batch(
     std::span<const nn::Tensor> inputs, sim::BatchScheduler& sched,
-    std::uint64_t run_seed, std::int64_t num_layers) const {
+    std::uint64_t run_seed, std::int64_t num_layers,
+    std::int64_t num_shards) const {
   for (const auto& x : inputs) {
     require(x.cols() == static_cast<std::size_t>(bert_.d_model),
             "run_encoder_batch: input width must equal d_model");
   }
   const auto seeds = workload::sequence_seeds(inputs.size(), run_seed);
   return sched.map<nn::Tensor>(inputs.size(), [&](std::size_t i) {
-    return run_encoder_one(inputs[i], seeds[i], num_layers);
+    return run_encoder_one(inputs[i], seeds[i], num_layers, num_shards);
   });
 }
 

@@ -62,9 +62,18 @@ class BatchEncoderSim {
   /// l's sampled faults depend on the layers before it — exactly as a
   /// physical pass through the stack would. `num_layers` must be in
   /// [1, stack_depth()].
+  ///
+  /// `num_shards` selects how many crossbar shards the request runs on and
+  /// must be in [1, config().num_shards] (the provisioned bound). Sharding
+  /// is payload-invariant BY CONSTRUCTION: the inter-shard merge adds
+  /// exact integer partial sums (the digital reduce is associative), so
+  /// the output is bit-identical for every admissible shard count/policy —
+  /// only the analytic cost model sees K. tests/test_sharded_matmul.cpp
+  /// pins this contract.
   [[nodiscard]] nn::Tensor run_encoder_one(const nn::Tensor& input,
                                            std::uint64_t engine_seed,
-                                           std::int64_t num_layers = 1) const;
+                                           std::int64_t num_layers = 1,
+                                           std::int64_t num_shards = 1) const;
 
   /// Full-hardware attention path: attention_on_star(qkv) with both matmuls
   /// on the crossbar MatMul engine.
@@ -83,10 +92,11 @@ class BatchEncoderSim {
   // remain for existing tests/benches and simple closed-loop studies.
 
   /// Deprecated shim: out[i] = run_encoder_one(inputs[i], seeds[i],
-  /// num_layers) with seeds[i] = workload::sequence_seed(run_seed, i).
+  /// num_layers, num_shards) with seeds[i] = workload::sequence_seed(run_seed, i).
   [[nodiscard]] std::vector<nn::Tensor> run_encoder_batch(
       std::span<const nn::Tensor> inputs, sim::BatchScheduler& sched,
-      std::uint64_t run_seed = 0x5EED, std::int64_t num_layers = 1) const;
+      std::uint64_t run_seed = 0x5EED, std::int64_t num_layers = 1,
+      std::int64_t num_shards = 1) const;
 
   /// Deprecated shim: out[i] = run_attention_one(qkv[i], seeds[i]).
   [[nodiscard]] std::vector<FunctionalAttentionResult> run_attention_batch(

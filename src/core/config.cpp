@@ -18,6 +18,8 @@ void StarConfig::validate() const {
           "StarConfig: matmul_input_bits in [1, 16]");
   require(matmul_weight_bits >= 1 && matmul_weight_bits <= 16,
           "StarConfig: matmul_weight_bits in [1, 16]");
+  require(num_shards >= 1 && num_shards <= 256,
+          "StarConfig: num_shards must be in [1, 256]");
   require(softmax_engines >= 1, "StarConfig: at least one softmax engine");
   require(max_seq_len >= 2, "StarConfig: max_seq_len must be >= 2");
   require(cam_miss_prob >= 0.0 && cam_miss_prob < 1.0,

@@ -4,6 +4,7 @@
 #include "fxp/qformat.hpp"
 #include "hw/tech.hpp"
 #include "xbar/device.hpp"
+#include "xbar/sharded_mapper.hpp"
 
 namespace star::core {
 
@@ -23,6 +24,15 @@ struct StarConfig {
   int matmul_adc_bits = 5;
   int matmul_input_bits = 8;
   int matmul_weight_bits = 8;
+
+  /// Crossbar sharding: how many parallel shards (chiplets / banks) the
+  /// MatMul engine's tile grid is partitioned into, joined by an explicit
+  /// H-tree interconnect (see core/sharded_matmul.hpp). 1 = the monolithic
+  /// engine; every sharded path is bit-identical to the legacy model then.
+  /// Provisioning bound for serving: a request may use at most this many.
+  int num_shards = 1;
+  /// Operand partitioning policy used when num_shards > 1.
+  xbar::ShardPolicy shard_policy = xbar::ShardPolicy::kRow;
 
   /// Number of softmax engine replicas the accelerator instantiates so the
   /// softmax stage keeps pace with the MatMul engine in the vector-grained

@@ -1,0 +1,103 @@
+#include "core/design_sweep.hpp"
+
+#include <array>
+
+#include "baseline/gpu_model.hpp"
+#include "baseline/pipelayer.hpp"
+#include "baseline/retransformer.hpp"
+#include "util/status.hpp"
+
+namespace star::core {
+
+namespace {
+
+constexpr std::array<Fig3Platform, 4> kPlatforms{
+    Fig3Platform::kGpu, Fig3Platform::kPipeLayer, Fig3Platform::kReTransformer,
+    Fig3Platform::kStar};
+
+Fig3Point evaluate(Fig3Platform platform, const StarConfig& cfg,
+                   const nn::BertConfig& bert, std::int64_t seq_len) {
+  Fig3Point p;
+  p.platform = platform;
+  p.seq_len = seq_len;
+  switch (platform) {
+    case Fig3Platform::kGpu: {
+      const baseline::GpuModel gpu;
+      p.report = gpu.run_attention_layer(bert, seq_len);
+      p.latency = p.report.latency;
+      p.power = p.report.avg_power;
+      break;
+    }
+    case Fig3Platform::kPipeLayer: {
+      const baseline::PipeLayerModel model(cfg);
+      const auto r = model.run_attention_layer(bert, seq_len);
+      p.report = r.report;
+      p.latency = r.latency;
+      p.power = r.power;
+      break;
+    }
+    case Fig3Platform::kReTransformer: {
+      const baseline::ReTransformerModel model(cfg);
+      const auto r = model.run_attention_layer(bert, seq_len);
+      p.report = r.report;
+      p.latency = r.latency;
+      p.power = r.power;
+      break;
+    }
+    case Fig3Platform::kStar: {
+      const StarAccelerator acc(cfg);
+      const auto r = acc.run_attention_layer(bert, seq_len);
+      p.report = r.report;
+      p.latency = r.latency;
+      p.power = r.power;
+      p.matmul_tiles = r.matmul_tiles;
+      p.softmax_engines = r.softmax_engines;
+      p.softmax_energy = r.softmax_energy;
+      p.pipeline_speedup = r.pipeline_speedup;
+      break;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+const char* to_string(Fig3Platform platform) {
+  switch (platform) {
+    case Fig3Platform::kGpu:
+      return "gpu";
+    case Fig3Platform::kPipeLayer:
+      return "pipelayer";
+    case Fig3Platform::kReTransformer:
+      return "retransformer";
+    case Fig3Platform::kStar:
+      return "star";
+  }
+  return "?";
+}
+
+std::span<const Fig3Platform> fig3_platforms() { return kPlatforms; }
+
+std::vector<Fig3Point> run_fig3_sweep(const StarConfig& cfg,
+                                      const nn::BertConfig& bert,
+                                      std::span<const std::int64_t> seq_lens,
+                                      sim::BatchScheduler& sched) {
+  bert.validate();
+  cfg.validate();
+  require(!seq_lens.empty(), "run_fig3_sweep: need at least one seq_len");
+  for (const std::int64_t L : seq_lens) {
+    require(L >= 2, "run_fig3_sweep: seq_len must be >= 2");
+  }
+
+  const std::size_t per_platform = seq_lens.size();
+  const std::size_t n = kPlatforms.size() * per_platform;
+  // Design point i = (platform i / |L|, seq_len i % |L|); each job builds
+  // its own const model, so jobs share nothing mutable.
+  return sched.map<Fig3Point>(n, [&](std::size_t i) {
+    const Fig3Platform platform = kPlatforms[i / per_platform];
+    const std::int64_t seq_len = seq_lens[i % per_platform];
+    return evaluate(platform, cfg, bert, seq_len);
+  });
+}
+
+}  // namespace star::core

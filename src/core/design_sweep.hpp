@@ -1,0 +1,53 @@
+// Batched analytic design-space sweeps (ROADMAP "Batched analytic Fig. 3
+// sweep").
+//
+// The Fig. 3 calibration compares four platforms (GPU, PipeLayer,
+// ReTransformer, STAR) on the BERT-base attention layer; a calibration
+// study sweeps that comparison over sequence lengths. Every (platform,
+// seq_len) pair is one independent design point: the job constructs its
+// own const model and evaluates it, so the points can run on all host
+// cores through sim::BatchScheduler while staying bit-identical to a
+// sequential loop — the scheduler only decides WHEN a point runs, never
+// WHAT it computes (tests/test_fig3_sweep.cpp pins the equivalence).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "hw/report.hpp"
+#include "nn/bert.hpp"
+#include "sim/batch_scheduler.hpp"
+
+namespace star::core {
+
+enum class Fig3Platform { kGpu, kPipeLayer, kReTransformer, kStar };
+
+[[nodiscard]] const char* to_string(Fig3Platform platform);
+
+/// All four platforms in the paper's Fig. 3 order.
+[[nodiscard]] std::span<const Fig3Platform> fig3_platforms();
+
+/// One evaluated design point.
+struct Fig3Point {
+  Fig3Platform platform = Fig3Platform::kGpu;
+  std::int64_t seq_len = 0;
+  hw::RunReport report;
+  Time latency{};
+  Power power{};
+  // STAR-only detail (zero for the baselines).
+  std::int64_t matmul_tiles = 0;
+  int softmax_engines = 0;
+  Energy softmax_energy{};
+  double pipeline_speedup = 1.0;
+};
+
+/// Evaluate every (platform, seq_len) design point — platforms major,
+/// seq_lens minor, matching fig3_platforms() order — on `sched`'s worker
+/// pool. Results are bit-identical for every thread count.
+[[nodiscard]] std::vector<Fig3Point> run_fig3_sweep(
+    const StarConfig& cfg, const nn::BertConfig& bert,
+    std::span<const std::int64_t> seq_lens, sim::BatchScheduler& sched);
+
+}  // namespace star::core

@@ -1,5 +1,7 @@
 #include "core/encoder_model.hpp"
 
+#include <algorithm>
+
 #include "hw/gates.hpp"
 #include "nn/opcount.hpp"
 #include "util/status.hpp"
@@ -13,7 +15,15 @@ LayerStageTimes EncoderModel::layer_stage_times(const nn::BertConfig& bert,
                                                 std::int64_t seq_len) const {
   LayerStageTimes t;
   t.attention = accel_.stage_times(bert, seq_len);
-  t.ffn_row = accel_.matmul_engine().tile_latency() + overheads_.per_row_overhead;
+  if (cfg_.num_shards == 1) {
+    t.ffn_row = accel_.matmul_engine().tile_latency() + overheads_.per_row_overhead;
+  } else {
+    // The two FFN stripes row-pipeline against each other; the slower
+    // sharded stripe (typically the d_ff-wide output of W1) paces the stage.
+    const ShardedMatmulEngine& sharded = accel_.sharded_matmul();
+    t.ffn_row = std::max(sharded.row_service(bert.d_model, bert.d_ff),
+                         sharded.row_service(bert.d_ff, bert.d_model));
+  }
   return t;
 }
 
@@ -28,14 +38,18 @@ EncoderRunResult EncoderModel::run_encoder_layer(const nn::BertConfig& bert,
   // FFN: two static matmuls (d_model x d_ff and d_ff x d_model) streamed at
   // the same row rate; both stripes pipeline behind the attention block, so
   // the FFN adds its own row-pipelined makespan.
-  const MatmulEngine& matmul = accel_.matmul_engine();
+  const ShardedMatmulEngine& matmul = accel_.sharded_matmul();
   const auto ff1 = matmul.stream_cost(seq_len, bert.d_model, bert.d_ff, false);
   const auto ff2 = matmul.stream_cost(seq_len, bert.d_ff, bert.d_model, false);
   const Time ffn_row = layer_stage_times(bert, seq_len).ffn_row;
   // The two FFN matmuls row-pipeline against each other: one fill plus
   // seq_len rows at the bottleneck rate.
   res.ffn_latency = ffn_row * static_cast<double>(seq_len + 1);
-  res.ffn_energy = ff1.energy + ff2.energy;
+  res.ffn_energy = ff1.total.energy + ff2.total.energy;
+  res.interconnect_latency = res.attention.interconnect_latency +
+                             ff1.interconnect_latency + ff2.interconnect_latency;
+  res.interconnect_energy = res.attention.interconnect_energy +
+                            ff1.interconnect_energy + ff2.interconnect_energy;
 
   // Digital vector unit: 2 layernorms (5 ops/elem) + GELU (4 ops/elem) over
   // L x d_model, plus GELU over L x d_ff, at ~0.5 pJ/op (32 nm datapath).
@@ -58,7 +72,7 @@ EncoderRunResult EncoderModel::run_encoder_layer(const nn::BertConfig& bert,
   res.power = res.energy / res.latency + p_static +
               // FFN tiles (1152 for BERT-base) add their own static share.
               overheads_.static_per_tile *
-                  static_cast<double>((ff1.tiles + ff2.tiles) *
+                  static_cast<double>((ff1.total.tiles + ff2.total.tiles) *
                                       (overheads_.provision_all_layers ? bert.layers : 1));
 
   res.report.engine_name = "STAR (full encoder layer)";

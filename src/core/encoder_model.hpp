@@ -24,6 +24,10 @@ struct EncoderRunResult {
   Energy ffn_energy{};
   Energy vector_unit_energy{};    ///< layernorm + GELU digital work
   double attention_time_share = 0.0;
+  // Crossbar sharding (zero when cfg.num_shards == 1): attention + FFN
+  // inter-shard merge totals of the layer.
+  Time interconnect_latency{};
+  Energy interconnect_energy{};
 };
 
 class EncoderModel {

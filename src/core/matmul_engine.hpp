@@ -59,6 +59,10 @@ class MatmulEngine {
   [[nodiscard]] int tile_rows() const;
   [[nodiscard]] int tile_logical_cols() const;
 
+  /// The matrix-to-tile mapper behind stream_cost (ShardedMatmulEngine
+  /// re-maps operand slices through the same geometry).
+  [[nodiscard]] const xbar::Mapper& mapper() const { return mapper_; }
+
  private:
   StarConfig cfg_;
   xbar::VmmConfig vmm_cfg_;

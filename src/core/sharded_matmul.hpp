@@ -1,0 +1,113 @@
+// Sharded crossbar matmul: K parallel tile-grid shards composed through an
+// explicit H-tree interconnect (ROADMAP "Sharded crossbar tiles").
+//
+// The monolithic MatmulEngine::stream_cost maps one matmul onto one tile
+// grid and the calibrated SystemOverheads::per_row_overhead prices the
+// grid's whole accumulation network as a flat per-row figure. This layer
+// splits the matmul over K shards via xbar::ShardedMapper, prices each
+// shard with the UNCHANGED base engine, and makes the interconnect
+// explicit:
+//
+//   latency = max-shard compute + merge fill + per-row flit streaming
+//             (merge fill = merge_levels H-tree traversals, paid once;
+//              the reduce tree is pipelined at flit granularity, so the
+//              steady state adds one widest-hop flit stream per row)
+//   energy  = sum of shard energies + link traffic
+//             (every hop's partial-sum words cross one tree link per row)
+//
+// For the pipeline's stage times the monolithic per-row overhead is
+// decomposed structurally: a shard's local accumulation tree spans ~T/K of
+// the grid's T tiles, so the calibrated figure is scaled by the ratio of
+// the two hw::HTree traversal latencies, and the inter-shard merge is
+// charged on top. K = 1 short-circuits to the legacy expressions, which
+// keeps every downstream quantity bit-identical to the unsharded model —
+// the anchoring invariant of tests/test_sharded_matmul.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/matmul_engine.hpp"
+#include "xbar/sharded_mapper.hpp"
+
+namespace star::core {
+
+/// Composed analytic cost of one matmul spread over K shards.
+struct ShardedMatmulCost {
+  /// The composed cost callers consume. At K = 1 this is bit-identical to
+  /// MatmulEngine::stream_cost (delegation, not recomputation). At K > 1:
+  /// latency = max_shard_compute + interconnect_latency, energy includes
+  /// interconnect_energy, tiles/tile_ops/macs/writes sum over shards.
+  MatmulCost total;
+  std::vector<MatmulCost> per_shard;  ///< base-engine cost of each slice
+  xbar::ShardPlan plan;
+
+  Time max_shard_compute{};      ///< slowest shard's standalone latency
+  Time interconnect_latency{};   ///< merge fill + per-row flit streaming
+  Energy interconnect_energy{};  ///< partial-sum / gather link traffic
+
+  [[nodiscard]] int num_shards() const { return plan.num_shards; }
+};
+
+/// Composition layer over a (shared, read-only) MatmulEngine. Cheap to
+/// construct — it holds no tiles, only the base engine pointer, the config
+/// and the calibrated per-row overhead it decomposes.
+class ShardedMatmulEngine {
+ public:
+  /// Inter-shard link width: one 512-bit flit carries 16 partial sums.
+  static constexpr int kBusBits = 512;
+  /// Partial-sum word moved per output element (8b x 8b MACs over up to
+  /// 2^10 rows fit in 26 bits; 32 is the routed word).
+  static constexpr int kAccBits = 32;
+  /// Leaf pitch of the inter-shard tree, matching hw::HTree's default.
+  static constexpr double kTilePitchUm = 160.0;
+
+  /// `base` must outlive this engine. `per_row_overhead` is the calibrated
+  /// monolithic figure (SystemOverheads::per_row_overhead) the sharded row
+  /// service decomposes; cfg supplies num_shards / shard_policy / tech.
+  ShardedMatmulEngine(const MatmulEngine& base, const StarConfig& cfg,
+                      Time per_row_overhead);
+
+  /// Cost at the provisioned shard count (cfg.num_shards / cfg.shard_policy).
+  [[nodiscard]] ShardedMatmulCost stream_cost(std::int64_t b, std::int64_t m,
+                                              std::int64_t n,
+                                              bool dynamic_matrix) const;
+  /// Cost at an explicit shard count / policy (design-space sweeps).
+  [[nodiscard]] ShardedMatmulCost stream_cost(std::int64_t b, std::int64_t m,
+                                              std::int64_t n, bool dynamic_matrix,
+                                              int num_shards,
+                                              xbar::ShardPolicy policy) const;
+
+  /// Per-row service time of this matmul INCLUDING the system overhead —
+  /// the stage-times hook. K = 1: tile_latency + per_row_overhead, the
+  /// legacy expression, bit-identical. K > 1: tile_latency +
+  /// local_row_overhead + link_row_time.
+  [[nodiscard]] Time row_service(std::int64_t m, std::int64_t n) const;
+  [[nodiscard]] Time row_service(std::int64_t m, std::int64_t n, int num_shards,
+                                 xbar::ShardPolicy policy) const;
+
+  /// The shard-local share of the per-row overhead: the calibrated figure
+  /// scaled by HTree(ceil(T/K)) / HTree(T) traversal latencies (T = tiles
+  /// of the monolithic grid). Equals per_row_overhead at K = 1.
+  [[nodiscard]] Time local_row_overhead(std::int64_t m, std::int64_t n,
+                                        int num_shards) const;
+  /// Per-row inter-shard streaming time: widest-hop flits at one flit per
+  /// clock (tree links run in parallel and levels pipeline). 0 at K = 1.
+  [[nodiscard]] Time link_row_time(std::int64_t m, std::int64_t n, int num_shards,
+                                   xbar::ShardPolicy policy) const;
+
+  [[nodiscard]] int num_shards() const { return cfg_.num_shards; }
+  [[nodiscard]] xbar::ShardPolicy policy() const { return cfg_.shard_policy; }
+  [[nodiscard]] const MatmulEngine& base() const { return *base_; }
+  [[nodiscard]] Time per_row_overhead() const { return per_row_overhead_; }
+
+ private:
+  [[nodiscard]] std::int64_t flits_for(std::int64_t width) const;
+
+  const MatmulEngine* base_;
+  StarConfig cfg_;
+  Time per_row_overhead_;
+};
+
+}  // namespace star::core

@@ -35,9 +35,13 @@ HTree::HTree(const TechNode& tech, int tiles, int bus_bits, double tile_pitch_um
   total_wire_um_ *= bus_bits_;
 }
 
-Time HTree::traversal_latency() const {
+Time HTree::wire_latency() const {
   const double extent_um = std::sqrt(static_cast<double>(tiles_)) * tile_pitch_um_;
-  return Time::ps(kWireDelayPsPerUm * extent_um) +
+  return Time::ps(kWireDelayPsPerUm * extent_um);
+}
+
+Time HTree::traversal_latency() const {
+  return wire_latency() +
          tech_.clock_period() * static_cast<double>(levels_);  // per-level register
 }
 

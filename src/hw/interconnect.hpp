@@ -18,6 +18,12 @@ class HTree {
 
   /// Root-to-leaf traversal of one `bus_bits` flit.
   [[nodiscard]] Time traversal_latency() const;
+  /// The wire-flight share of the traversal: repeated-wire delay across the
+  /// tree's extent, WITHOUT the per-level pipeline registers. This is the
+  /// part that paces a steady-state row stream (registers pipeline; they
+  /// only price the fill) — the sharded matmul composition scales the
+  /// calibrated per-row overhead by the ratio of two of these.
+  [[nodiscard]] Time wire_latency() const;
   [[nodiscard]] Energy flit_energy() const;
 
   /// Total wiring + repeater silicon.

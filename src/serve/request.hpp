@@ -43,6 +43,13 @@ struct EncoderRequest {
   /// InvalidArgument. Part of the determinism contract: the payload is a
   /// function of (input, run_seed, num_layers).
   std::int64_t num_layers = 1;
+  /// Crossbar shards the request runs on. Must be in
+  /// [1, model.config().num_shards] (the provisioned bound); a violation
+  /// resolves the future with InvalidArgument. Sharding is
+  /// payload-invariant (the inter-shard partial-sum merge is an exact
+  /// integer reduce), so the payload stays a function of
+  /// (input, run_seed, num_layers) for every admissible shard count.
+  std::int64_t num_shards = 1;
 };
 
 struct EncoderResponse {

@@ -111,8 +111,9 @@ std::future<Response> StarServer::submit_impl(ComputeFn compute) {
 std::future<EncoderResponse> StarServer::submit(EncoderRequest req) {
   return submit_impl<EncoderResponse>([this, req = std::move(req)] {
     EncoderResponse resp;
-    resp.output = model_.run_encoder_one(
-        req.input, workload::sequence_seed(req.run_seed, 0), req.num_layers);
+    resp.output = model_.run_encoder_one(req.input,
+                                         workload::sequence_seed(req.run_seed, 0),
+                                         req.num_layers, req.num_shards);
     return resp;
   });
 }

@@ -1,0 +1,99 @@
+// Sharded matrix-to-tile mapping: partitioning one matmul across parallel
+// crossbar shards (chiplets / banks).
+//
+// The monolithic Mapper answers "how does an M x N matrix land on ONE tile
+// grid". The ShardedMapper splits the operand into K slices — by rows of
+// the inner dimension (partial sums need an ADD-reduce), by output columns
+// (disjoint slices need only a gather), or block-cyclically over both —
+// maps every slice through the unchanged base Mapper, and describes the
+// inter-shard merge the composition layer must price: how many link hops a
+// result row takes, how wide each hop is, and the log-depth of the
+// reduction tree. This is the same partition-then-reduce structure cuBERT
+// uses across GPU streams, applied to crossbar tile grids.
+//
+// K = 1 degenerates to the monolithic mapping: one slice, zero hops, zero
+// merge levels — the composition layer uses that to stay bit-identical to
+// the unsharded path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "xbar/mapper.hpp"
+
+namespace star::xbar {
+
+/// How the operand is split across shards.
+enum class ShardPolicy {
+  kRow,          ///< split the inner dim M: shards hold weight row bands,
+                 ///< every output needs a partial-sum ADD-reduce
+  kColumn,       ///< split the output dim N: shards own disjoint output
+                 ///< columns, the merge is a gather (no adds)
+  kBlockCyclic,  ///< split both dims on an rk x ck grid (rk*ck = K, rk the
+                 ///< largest divisor of K <= sqrt(K)): ADD-reduce inside
+                 ///< each column group, gather across groups
+};
+
+[[nodiscard]] const char* to_string(ShardPolicy policy);
+
+/// One shard's operand slice: it multiplies a B x m slice of the input by
+/// an m x n slice of the matrix on its own tile grid.
+struct ShardSlice {
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+};
+
+/// The partition of one M x N matmul over K shards plus the merge shape
+/// the interconnect model prices.
+struct ShardPlan {
+  ShardPolicy policy = ShardPolicy::kRow;
+  int num_shards = 1;
+  std::vector<ShardSlice> slices;  ///< one per shard; dims sum back to M/N
+
+  /// Depth of the inter-shard merge tree: ceil(log2 K), 0 when K == 1.
+  int merge_levels = 0;
+  /// Link hops that ADD partial sums (row bands of the same outputs).
+  int reduce_hops = 0;
+  /// Link hops that only concatenate disjoint output slices.
+  int gather_hops = 0;
+  /// Output elements carried by each hop, reduce hops first then gather
+  /// hops (size reduce_hops + gather_hops; empty when K == 1).
+  std::vector<std::int64_t> hop_widths;
+
+  /// Widest single hop (sets the per-row link streaming time; parallel
+  /// tree links pipeline, so only the widest hop paces a row). 0 if K == 1.
+  [[nodiscard]] std::int64_t max_hop_width() const;
+  /// Sum of all hop widths (sets the per-row link energy).
+  [[nodiscard]] std::int64_t total_hop_width() const;
+};
+
+class ShardedMapper {
+ public:
+  /// Partition over `num_shards` shards under `policy`; every slice is
+  /// mapped through `base` (the per-shard tile geometry is the monolithic
+  /// one — shards are replicas of the same tile design).
+  ShardedMapper(const Mapper& base, int num_shards, ShardPolicy policy);
+
+  /// The partition of an m x n matmul. Throws InvalidArgument when the
+  /// matrix cannot feed every shard a non-empty slice (K > m under kRow,
+  /// K > n under kColumn, rk > m or ck > n under kBlockCyclic).
+  [[nodiscard]] ShardPlan plan_for(std::int64_t m, std::int64_t n) const;
+
+  /// Per-shard mapping costs of a B x m input against a static / dynamic
+  /// m x n matrix: element k is base().map_*(b, slice_k.m, slice_k.n).
+  [[nodiscard]] std::vector<MappingCost> map_static(std::int64_t b, std::int64_t m,
+                                                    std::int64_t n) const;
+  [[nodiscard]] std::vector<MappingCost> map_dynamic(std::int64_t b, std::int64_t m,
+                                                     std::int64_t n) const;
+
+  [[nodiscard]] const Mapper& base() const { return base_; }
+  [[nodiscard]] int num_shards() const { return num_shards_; }
+  [[nodiscard]] ShardPolicy policy() const { return policy_; }
+
+ private:
+  Mapper base_;
+  int num_shards_;
+  ShardPolicy policy_;
+};
+
+}  // namespace star::xbar

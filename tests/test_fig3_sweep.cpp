@@ -1,0 +1,115 @@
+// Batched analytic Fig. 3 design-space sweep (core::run_fig3_sweep).
+//
+// The sweep fans (platform, seq_len) calibration points out over
+// sim::BatchScheduler; the contract is the simulator-wide one: the
+// scheduler decides WHEN a point runs, never WHAT it computes, so batched
+// results are byte-identical to a sequential evaluation for every thread
+// count.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/design_sweep.hpp"
+#include "util/status.hpp"
+
+namespace star {
+namespace {
+
+core::StarConfig nine_bit_cfg() {
+  core::StarConfig cfg;
+  cfg.softmax_format = fxp::kMrpcFormat;
+  return cfg;
+}
+
+void expect_points_identical(const core::Fig3Point& a, const core::Fig3Point& b) {
+  EXPECT_EQ(a.platform, b.platform);
+  EXPECT_EQ(a.seq_len, b.seq_len);
+  // Exact double equality — bit-identical, not merely close.
+  EXPECT_EQ(a.latency.as_s(), b.latency.as_s());
+  EXPECT_EQ(a.power.as_W(), b.power.as_W());
+  EXPECT_EQ(a.report.total_ops, b.report.total_ops);
+  EXPECT_EQ(a.report.latency.as_s(), b.report.latency.as_s());
+  EXPECT_EQ(a.report.energy.as_J(), b.report.energy.as_J());
+  EXPECT_EQ(a.report.avg_power.as_W(), b.report.avg_power.as_W());
+  EXPECT_EQ(a.report.engine_name, b.report.engine_name);
+  EXPECT_EQ(a.matmul_tiles, b.matmul_tiles);
+  EXPECT_EQ(a.softmax_engines, b.softmax_engines);
+  EXPECT_EQ(a.softmax_energy.as_J(), b.softmax_energy.as_J());
+  EXPECT_EQ(a.pipeline_speedup, b.pipeline_speedup);
+}
+
+TEST(Fig3Sweep, BatchedBitIdenticalToSequential) {
+  const nn::BertConfig bert = nn::BertConfig::base();
+  const std::int64_t seq_lens[] = {64, 128};
+
+  sim::BatchScheduler sequential(1);
+  const auto ref = core::run_fig3_sweep(nine_bit_cfg(), bert, seq_lens, sequential);
+  for (const int threads : {2, 4, 8}) {
+    sim::BatchScheduler sched(threads);
+    const auto got = core::run_fig3_sweep(nine_bit_cfg(), bert, seq_lens, sched);
+    ASSERT_EQ(got.size(), ref.size()) << "threads " << threads;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      expect_points_identical(got[i], ref[i]);
+    }
+  }
+}
+
+TEST(Fig3Sweep, CoversPlatformsMajorSeqLensMinor) {
+  const std::int64_t seq_lens[] = {64, 128, 256};
+  sim::BatchScheduler sched(2);
+  const auto points =
+      core::run_fig3_sweep(nine_bit_cfg(), nn::BertConfig::base(), seq_lens, sched);
+  const auto platforms = core::fig3_platforms();
+  ASSERT_EQ(points.size(), platforms.size() * 3);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].platform, platforms[i / 3]);
+    EXPECT_EQ(points[i].seq_len, seq_lens[i % 3]);
+    EXPECT_GT(points[i].latency.as_us(), 0.0);
+    EXPECT_GT(points[i].report.gops_per_watt(), 0.0);
+  }
+}
+
+TEST(Fig3Sweep, StarPointMatchesDirectAccelerator) {
+  const nn::BertConfig bert = nn::BertConfig::base();
+  const std::int64_t seq_lens[] = {128};
+  sim::BatchScheduler sched(3);
+  const auto points = core::run_fig3_sweep(nine_bit_cfg(), bert, seq_lens, sched);
+
+  const core::StarAccelerator acc(nine_bit_cfg());
+  const auto direct = acc.run_attention_layer(bert, 128);
+  const auto& star = points.back();  // platforms-major: STAR is last
+  EXPECT_EQ(star.platform, core::Fig3Platform::kStar);
+  EXPECT_EQ(star.latency.as_s(), direct.latency.as_s());
+  EXPECT_EQ(star.power.as_W(), direct.power.as_W());
+  EXPECT_EQ(star.report.energy.as_J(), direct.report.energy.as_J());
+  EXPECT_EQ(star.matmul_tiles, direct.matmul_tiles);
+  EXPECT_EQ(star.softmax_engines, direct.softmax_engines);
+  EXPECT_EQ(star.pipeline_speedup, direct.pipeline_speedup);
+}
+
+TEST(Fig3Sweep, RepeatedRunsAreDeterministic) {
+  const std::int64_t seq_lens[] = {64};
+  sim::BatchScheduler sched(4);
+  const auto a =
+      core::run_fig3_sweep(nine_bit_cfg(), nn::BertConfig::base(), seq_lens, sched);
+  const auto b =
+      core::run_fig3_sweep(nine_bit_cfg(), nn::BertConfig::base(), seq_lens, sched);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_points_identical(a[i], b[i]);
+  }
+}
+
+TEST(Fig3Sweep, RejectsBadArguments) {
+  sim::BatchScheduler sched(1);
+  EXPECT_THROW((void)core::run_fig3_sweep(nine_bit_cfg(), nn::BertConfig::base(),
+                                          {}, sched),
+               InvalidArgument);
+  const std::int64_t bad_len[] = {1};
+  EXPECT_THROW((void)core::run_fig3_sweep(nine_bit_cfg(), nn::BertConfig::base(),
+                                          bad_len, sched),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace star

@@ -1,7 +1,15 @@
-// Tests for the crossbar MatMul engine (functional and analytic faces).
+// Tests for the crossbar MatMul engine (functional and analytic faces),
+// including the golden-file regressions pinning MappingCost / MatmulCost
+// on the paper's BERT-base geometries (tests/golden/matmul_costs.csv):
+// a cost-model refactor that drifts Fig. 3 now fails here, exactly.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/matmul_engine.hpp"
 #include "util/math.hpp"
@@ -98,6 +106,99 @@ TEST(MatmulEngine, AreaAndLeakageScaleWithTiles) {
 TEST(MatmulEngine, RejectsBadDims) {
   const MatmulEngine eng(default_cfg());
   EXPECT_THROW((void)eng.stream_cost(0, 768, 768, false), InvalidArgument);
+}
+
+// ---------- golden-file regressions (exact, not approximate) ----------
+
+struct GoldenRow {
+  std::string name;
+  std::int64_t b = 0, m = 0, n = 0;
+  bool dynamic = false;
+  std::int64_t row_tiles = 0, col_tiles = 0, vmm_invocations = 0, cell_writes = 0;
+  double mac_ops = 0.0;
+  double latency_ns = 0.0, row_service_ns = 0.0;
+  double energy_pj = 0.0, write_energy_pj = 0.0, write_latency_ns = 0.0;
+  std::int64_t tile_ops = 0;
+};
+
+/// Parse tests/golden/matmul_costs.csv. Doubles are written with 17
+/// significant digits, so strtod round-trips the exact bits the model
+/// produced when the golden was recorded.
+std::vector<GoldenRow> load_golden() {
+  const std::string path = std::string(STAR_TEST_GOLDEN_DIR) + "/matmul_costs.csv";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file: " << path;
+  std::vector<GoldenRow> rows;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::stringstream ss(line);
+    std::string cell;
+    std::vector<std::string> cells;
+    while (std::getline(ss, cell, ',')) {
+      cells.push_back(cell);
+    }
+    EXPECT_EQ(cells.size(), 16u) << "malformed golden row: " << line;
+    if (cells.size() != 16u) {
+      continue;  // recorded as a failure above; don't index out of bounds
+    }
+    GoldenRow r;
+    r.name = cells[0];
+    r.b = std::atoll(cells[1].c_str());
+    r.m = std::atoll(cells[2].c_str());
+    r.n = std::atoll(cells[3].c_str());
+    r.dynamic = cells[4] == "1";
+    r.row_tiles = std::atoll(cells[5].c_str());
+    r.col_tiles = std::atoll(cells[6].c_str());
+    r.vmm_invocations = std::atoll(cells[7].c_str());
+    r.cell_writes = std::atoll(cells[8].c_str());
+    r.mac_ops = std::strtod(cells[9].c_str(), nullptr);
+    r.latency_ns = std::strtod(cells[10].c_str(), nullptr);
+    r.row_service_ns = std::strtod(cells[11].c_str(), nullptr);
+    r.energy_pj = std::strtod(cells[12].c_str(), nullptr);
+    r.write_energy_pj = std::strtod(cells[13].c_str(), nullptr);
+    r.write_latency_ns = std::strtod(cells[14].c_str(), nullptr);
+    r.tile_ops = std::atoll(cells[15].c_str());
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+TEST(MatmulEngineGolden, MappingCostsMatchGoldenExactly) {
+  const MatmulEngine eng(default_cfg());
+  const xbar::Mapper& mapper = eng.mapper();
+  const auto rows = load_golden();
+  ASSERT_FALSE(rows.empty());
+  for (const auto& r : rows) {
+    const xbar::MappingCost mc = r.dynamic ? mapper.map_dynamic(r.b, r.m, r.n)
+                                           : mapper.map_static(r.b, r.m, r.n);
+    EXPECT_EQ(mc.grid.row_tiles, r.row_tiles) << r.name;
+    EXPECT_EQ(mc.grid.col_tiles, r.col_tiles) << r.name;
+    EXPECT_EQ(mc.vmm_invocations, r.vmm_invocations) << r.name;
+    EXPECT_EQ(mc.cell_writes, r.cell_writes) << r.name;
+    EXPECT_EQ(mc.mac_ops, r.mac_ops) << r.name;  // exact doubles
+  }
+}
+
+TEST(MatmulEngineGolden, StreamCostsMatchGoldenExactly) {
+  const MatmulEngine eng(default_cfg());
+  const auto rows = load_golden();
+  ASSERT_FALSE(rows.empty());
+  for (const auto& r : rows) {
+    const MatmulCost c = eng.stream_cost(r.b, r.m, r.n, r.dynamic);
+    // Exact double equality: the golden records the bits the paper-scale
+    // calibration produced, so any silent cost-model drift fails here.
+    EXPECT_EQ(c.latency.as_ns(), r.latency_ns) << r.name;
+    EXPECT_EQ(c.row_service.as_ns(), r.row_service_ns) << r.name;
+    EXPECT_EQ(c.energy.as_pJ(), r.energy_pj) << r.name;
+    EXPECT_EQ(c.write_energy.as_pJ(), r.write_energy_pj) << r.name;
+    EXPECT_EQ(c.write_latency.as_ns(), r.write_latency_ns) << r.name;
+    EXPECT_EQ(c.tile_ops, r.tile_ops) << r.name;
+    EXPECT_EQ(c.macs, r.mac_ops) << r.name;
+  }
 }
 
 }  // namespace

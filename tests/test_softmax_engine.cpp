@@ -137,6 +137,47 @@ TEST(SoftmaxEngine, CostsGrowWithRowLength) {
   EXPECT_GT(eng.preload_energy().as_nJ(), 0.0);
 }
 
+// ---------- table preload costs across the paper's dataset formats ----------
+// Groundwork for the LUT-programming cache (ROADMAP): per-dataset formats
+// imply CAM/LUT table swaps, and the cache will charge preload_energy()
+// only on a miss — so its per-format value must be pinned down.
+
+TEST(SoftmaxEngine, PreloadEnergyPositiveAndDeterministicPerFormat) {
+  for (const auto& fmt : {fxp::kCnewsFormat, fxp::kMrpcFormat, fxp::kColaFormat}) {
+    const SoftmaxEngine eng(config_for(fmt));
+    EXPECT_GT(eng.preload_energy().as_nJ(), 0.0) << fmt.name();
+    // Same format -> the same programmed image -> the same bits of energy
+    // (what a cache hit must be allowed to skip).
+    const SoftmaxEngine again(config_for(fmt));
+    EXPECT_EQ(eng.preload_energy().as_J(), again.preload_energy().as_J())
+        << fmt.name();
+  }
+}
+
+TEST(SoftmaxEngine, PreloadEnergyGrowsWithOperandWidth) {
+  // b-bit operands program a 2^b x 2b CAM/SUB and 2^(b-1)-row CAM/LUT:
+  // every extra operand bit doubles the programmed cells, so the ordering
+  // CoLA (7b) < CNEWS (8b) < MRPC (9b) is structural.
+  const SoftmaxEngine cola(config_for(fxp::kColaFormat));
+  const SoftmaxEngine cnews(config_for(fxp::kCnewsFormat));
+  const SoftmaxEngine mrpc(config_for(fxp::kMrpcFormat));
+  EXPECT_LT(cola.preload_energy().as_nJ(), cnews.preload_energy().as_nJ());
+  EXPECT_LT(cnews.preload_energy().as_nJ(), mrpc.preload_energy().as_nJ());
+}
+
+TEST(SoftmaxEngine, PreloadEnergyIndependentOfRuntimeKnobs) {
+  // The preload prices the programmed tables only — fault injection and
+  // replica count are runtime concerns and must not leak into it (a cache
+  // keyed by QFormat alone relies on this).
+  StarConfig base = config_for(fxp::kCnewsFormat);
+  StarConfig faulty = base;
+  faulty.cam_miss_prob = 0.2;
+  faulty.softmax_engines = 12;
+  faulty.max_seq_len = 256;
+  EXPECT_EQ(SoftmaxEngine(base).preload_energy().as_J(),
+            SoftmaxEngine(faulty).preload_energy().as_J());
+}
+
 TEST(SoftmaxEngine, WiderFormatCostsMoreArea) {
   const SoftmaxEngine small(config_for(fxp::kColaFormat));   // 7-bit
   const SoftmaxEngine big(config_for(fxp::kMrpcFormat));     // 9-bit
