@@ -23,15 +23,16 @@
 // versus the monolithic K=1 engine: shard_speedup, interconnect time and
 // link energy (core::ShardedMatmulEngine).
 //
-// Flags: --threads N   worker threads (default: sweep 1,2,4,8)
-//        --batch B     sequences per closed batch / server run multiplier
-//                      (default 32)
-//        --seqlen L    tokens per sequence (default 48)
-//        --layers N    chained encoder layers per sequence (default:
-//                      bert.layers of the tiny config)
-//        --shards K    crossbar shards (default 1 = monolithic; the
-//                      functional/serve parts only validate admission —
-//                      sharding is payload-invariant by construction)
+// Part 5 (device residency, with --mixed-datasets): the same open-loop
+// serve shape but with requests cycling the CNEWS/MRPC/CoLA softmax
+// formats, so the LUT/CAM image cache actually churns: the ServerStats
+// residency counters (lut_hits/lut_misses, weight misses under
+// --residency-cap pressure) and the modelled reprogramming time become
+// nonzero while every response stays bit-identical to its solo reference
+// (datasets are accounting-only by construction).
+//
+// Flags (see --help): --threads, --batch, --seqlen, --layers, --shards,
+// --mixed-datasets, --residency-cap.
 // The last stdout line is a one-line JSON summary for BENCH_*.json
 // tracking, validated by CI (`tail -n 1 | python3 -m json.tool`).
 // Wall-clock speedup tracks the physical cores of the host (a
@@ -40,7 +41,6 @@
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <functional>
 #include <string>
 #include <thread>
@@ -49,6 +49,7 @@
 #include "core/batch_encoder.hpp"
 #include "core/encoder_stack.hpp"
 #include "serve/star_server.hpp"
+#include "util/argparse.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "workload/arrival_trace.hpp"
@@ -75,44 +76,46 @@ bool byte_identical(const std::vector<star::nn::Tensor>& a,
   return true;
 }
 
-long parse_flag(int argc, char** argv, const char* name, long fallback) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", name);
-        std::exit(2);
-      }
-      char* end = nullptr;
-      const long v = std::strtol(argv[i + 1], &end, 10);
-      if (end == argv[i + 1] || *end != '\0' || v <= 0 || v > INT_MAX) {
-        std::fprintf(stderr, "invalid value for %s: %s\n", name, argv[i + 1]);
-        std::exit(2);
-      }
-      return v;
-    }
-  }
-  return fallback;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace star;
 
-  const long threads_flag = parse_flag(argc, argv, "--threads", 0);
-  const auto batch =
-      static_cast<std::size_t>(parse_flag(argc, argv, "--batch", 32));
-  const auto seq_len =
-      static_cast<std::size_t>(parse_flag(argc, argv, "--seqlen", 48));
+  const nn::BertConfig bert = nn::BertConfig::tiny();
+  util::ArgParser args("bench_batched_encoder",
+                       "Batched encoder throughput: closed batch, open-loop "
+                       "serving, analytic stack/shard models and the device "
+                       "residency cache.");
+  args.add_int("threads", 0, "worker threads (0 = sweep 1,2,4,8)", 0, INT_MAX);
+  args.add_int("batch", 32, "sequences per closed batch / served trace", 1,
+               INT_MAX);
+  args.add_int("seqlen", 48, "tokens per sequence", 2, INT_MAX);
+  args.add_int("layers", bert.layers, "chained encoder layers per sequence", 1,
+               INT_MAX);
+  args.add_int("shards", 1,
+               "crossbar shards (1 = monolithic; serve parts only validate "
+               "admission — sharding is payload-invariant)",
+               1, 256);
+  args.add_flag("mixed-datasets",
+                "serve a mixed CNEWS/MRPC/CoLA trace so the LUT/CAM image "
+                "cache takes real misses");
+  args.add_int("residency-cap", 0,
+               "resident-image capacity of the residency cache (0 = "
+               "unbounded; small values force eviction churn)",
+               0, INT_MAX);
+  args.parse(argc, argv);
+
+  const long threads_flag = args.get_int("threads");
+  const auto batch = static_cast<std::size_t>(args.get_int("batch"));
+  const auto seq_len = static_cast<std::size_t>(args.get_int("seqlen"));
+  const auto num_layers = static_cast<std::int64_t>(args.get_int("layers"));
+  const auto num_shards = static_cast<std::int64_t>(args.get_int("shards"));
+  const bool mixed_datasets = args.get_flag("mixed-datasets");
   constexpr std::uint64_t kSeed = 0xBA7C4ED;
 
-  const nn::BertConfig bert = nn::BertConfig::tiny();
-  const auto num_layers = static_cast<std::int64_t>(
-      parse_flag(argc, argv, "--layers", bert.layers));
-  const auto num_shards =
-      static_cast<std::int64_t>(parse_flag(argc, argv, "--shards", 1));
   core::StarConfig cfg;
   cfg.num_shards = static_cast<int>(num_shards);  // provision K shards
+  cfg.residency_capacity = static_cast<int>(args.get_int("residency-cap"));
   // Fail fast on a --shards value the matmul geometries cannot feed (e.g.
   // kRow needs K <= the inner dim of every matmul: the tiny config's
   // score/context stages bound K at min(d_head, seqlen), BERT-base at 64).
@@ -207,6 +210,13 @@ int main(int argc, char** argv) {
         model.run_encoder_batch(one, seq_sched, kSeed + i, num_layers, num_shards)[0]));
   }
 
+  // Scope the residency-manager counters to the serve run: parts 1 and the
+  // solo references above already cycled images through the cache (visibly
+  // so under --residency-cap), and the Part-5 report pairs the manager's
+  // energy/eviction figures with the server's time figures — they must
+  // describe the same workload.
+  model.residency().reset_stats();
+
   sim::BatchScheduler serve_sched(serve_threads);
   serve::ServerOptions opts;
   opts.max_queue = batch;  // block policy: throttle, never drop
@@ -216,6 +226,17 @@ int main(int argc, char** argv) {
       static_cast<long>(mean_inter_arrival_us) + 1);
   serve::StarServer server(model, serve_sched, opts);
 
+  // Mixed-dataset traffic cycles the three paper formats so consecutive
+  // requests demand different CAM/LUT images — the serve-side cache churn
+  // the residency layer prices. Datasets are accounting-only, so the solo
+  // references above stay valid verbatim.
+  constexpr workload::Dataset kMixedCycle[] = {workload::Dataset::kCnews,
+                                               workload::Dataset::kMrpc,
+                                               workload::Dataset::kCola};
+  const auto dataset_of = [&](std::size_t i) {
+    return mixed_datasets ? kMixedCycle[i % 3] : workload::Dataset::kDefault;
+  };
+
   std::vector<std::future<serve::EncoderResponse>> futs;
   futs.reserve(batch);
   const auto serve_t0 = std::chrono::steady_clock::now();
@@ -223,8 +244,8 @@ int main(int argc, char** argv) {
     const auto due = serve_t0 + std::chrono::microseconds(static_cast<long>(
                                     trace.arrival_ticks[i]));
     std::this_thread::sleep_until(due);
-    futs.push_back(server.submit(
-        serve::EncoderRequest{inputs[i], kSeed + i, num_layers, num_shards}));
+    futs.push_back(server.submit(serve::EncoderRequest{
+        inputs[i], kSeed + i, num_layers, num_shards, dataset_of(i)}));
   }
   bool served_identical = true;
   for (std::size_t i = 0; i < futs.size(); ++i) {
@@ -252,6 +273,36 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.batches));
   std::printf("  responses bit-identical to solo closed-batch runs: %s\n",
               served_identical ? "yes" : "NO (BUG)");
+
+  // --- Part 5: device residency (LUT/CAM image cache) ---------------------
+  // Accounting of the serve run above: with --mixed-datasets the rotating
+  // formats take cold LUT-image misses (and --residency-cap can force
+  // weight eviction churn on top); single-dataset traffic is all hits —
+  // the warm cache recovers the legacy free-programming model exactly.
+  const auto residency = model.residency().stats();
+  const std::string cap_label =
+      cfg.residency_capacity == 0 ? "unbounded"
+                                  : std::to_string(cfg.residency_capacity);
+  std::printf("\nDevice residency (%s traffic, capacity %s):\n",
+              mixed_datasets ? "mixed CNEWS/MRPC/CoLA" : "single-dataset",
+              cap_label.c_str());
+  std::printf("  LUT images        %llu hits, %llu misses\n",
+              static_cast<unsigned long long>(stats.lut_hits),
+              static_cast<unsigned long long>(stats.lut_misses));
+  std::printf("  weight images     %llu hits, %llu misses (%llu evictions "
+              "during serve)\n",
+              static_cast<unsigned long long>(stats.weight_hits),
+              static_cast<unsigned long long>(stats.weight_misses),
+              static_cast<unsigned long long>(residency.evictions));
+  std::printf("  reprogramming     %.3f us modelled (%.3f uJ), %.2f%% of "
+              "service time\n",
+              stats.programming_us_total,
+              residency.programming.energy.as_uJ(),
+              100.0 * stats.programming_time_share);
+  std::printf("  model-load bill   %.3f us / %.3f uJ (one-time, at "
+              "construction)\n",
+              model.initial_programming_cost().latency.as_us(),
+              model.initial_programming_cost().energy.as_uJ());
 
   // --- Part 3: analytic multi-layer stack model ---------------------------
   // The hardware-time view of the same depth: what the vector-grained
@@ -323,6 +374,10 @@ int main(int argc, char** argv) {
               "\"stack_speedup\":%.4f,"
               "\"num_shards\":%lld,\"shard_policy\":\"%s\","
               "\"shard_speedup\":%.4f,\"interconnect_us\":%.4f,"
+              "\"datasets\":\"%s\",\"residency_cap\":%d,"
+              "\"lut_hits\":%llu,\"lut_misses\":%llu,"
+              "\"weight_misses\":%llu,\"programming_us\":%.4f,"
+              "\"programming_share\":%.6f,"
               "\"identical\":%s}\n",
               serve_threads, batch, seq_len,
               static_cast<long long>(stack.num_layers), closed_seq_per_s,
@@ -334,6 +389,12 @@ int main(int argc, char** argv) {
               stack.latency.as_us(), stack.operand_latency.as_us(),
               stack.stack_speedup, static_cast<long long>(num_shards),
               xbar::to_string(shard_cfg.shard_policy), shard_speedup,
-              interconnect_us, all_identical ? "true" : "false");
+              interconnect_us, mixed_datasets ? "mixed" : "default",
+              cfg.residency_capacity,
+              static_cast<unsigned long long>(stats.lut_hits),
+              static_cast<unsigned long long>(stats.lut_misses),
+              static_cast<unsigned long long>(stats.weight_misses),
+              stats.programming_us_total, stats.programming_time_share,
+              all_identical ? "true" : "false");
   return all_identical ? 0 : 1;
 }

@@ -13,19 +13,40 @@
 #include <thread>
 
 #include "core/design_sweep.hpp"
+#include "util/argparse.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace star;
+  util::ArgParser args("bench_fig3_computing_efficiency",
+                       "Fig. 3 computing-efficiency comparison (GPU / "
+                       "PipeLayer / ReTransformer / STAR) over a batched "
+                       "(platform x seq_len) design sweep.");
+  args.add_int("headline-len", 128,
+               "sequence length of the headline comparison (one of the sweep "
+               "points 64/128/256/384)",
+               64, 384);
+  args.add_int("threads", 0, "sweep worker threads (0 = all host cores)", 0,
+               1 << 16);
+  args.parse(argc, argv);
+
   const nn::BertConfig bert = nn::BertConfig::base();
-  const std::int64_t headline_len = 128;
+  const auto headline_len = static_cast<std::int64_t>(args.get_int("headline-len"));
   const std::int64_t seq_lens[] = {64, 128, 256, 384};
+  bool headline_in_sweep = false;
+  for (const std::int64_t l : seq_lens) {
+    headline_in_sweep = headline_in_sweep || l == headline_len;
+  }
+  if (!headline_in_sweep) {
+    std::fprintf(stderr, "--headline-len must be one of 64/128/256/384\n");
+    return 2;
+  }
 
   core::StarConfig cfg;
   cfg.softmax_format = fxp::kMrpcFormat;  // 9-bit engine geometry (Section III)
 
-  sim::BatchScheduler sched(0);  // all host cores
+  sim::BatchScheduler sched(static_cast<int>(args.get_int("threads")));
   const auto points = core::run_fig3_sweep(cfg, bert, seq_lens, sched);
 
   const auto point_at = [&](core::Fig3Platform platform, std::int64_t L)

@@ -1,5 +1,6 @@
 #include "core/batch_encoder.hpp"
 
+#include "core/weight_images.hpp"
 #include "util/status.hpp"
 
 namespace star::core {
@@ -28,8 +29,75 @@ BatchEncoderSim::BatchEncoderSim(const StarConfig& cfg, const nn::BertConfig& be
                                  std::int64_t stack_depth)
     : bert_(bert),
       accel_(cfg),
-      weights_(make_weights(bert, weight_seed, stack_depth)) {
+      weights_(make_weights(bert, weight_seed, stack_depth)),
+      residency_(static_cast<std::size_t>(cfg.residency_capacity)) {
   bert_.validate();
+
+  // Per-dataset CAM/LUT image bills. The default slot is this model's own
+  // engine; named datasets price an engine sized for their format on the
+  // same substrate. (Equal formats share one key AND one bill.)
+  lut_costs_[static_cast<std::size_t>(workload::Dataset::kDefault)] =
+      accel_.softmax_engine().preload_cost();
+  for (const auto d : {workload::Dataset::kCnews, workload::Dataset::kMrpc,
+                       workload::Dataset::kCola}) {
+    const fxp::QFormat& fmt = workload::format_for(d, config().softmax_format);
+    lut_costs_[static_cast<std::size_t>(d)] =
+        fmt == config().softmax_format
+            ? lut_costs_[0]
+            : SoftmaxEngine::preload_cost_for(config(), fmt);
+  }
+
+  // Per-matrix weight image bills, in the shared slot order of
+  // core/weight_images.hpp. The functional path prices uploads on the
+  // monolithic write port (K-independent: requests only *gate* shard
+  // counts here; the sharded parallel-write bill lives in the analytic
+  // models' residency hook).
+  const MatmulEngine& mm = accel_.matmul_engine();
+  for (const LayerWeightImage& w : layer_weight_images(bert_)) {
+    weight_costs_[w.slot] = mm.weight_image_cost(w.m, w.n);
+  }
+
+  // Model load: program every image this sim owns. Installed, not charged —
+  // the one-time bill is reported via initial_programming_cost() and the
+  // request-time counters start from a warm cache.
+  for (std::int64_t l = 0; l < stack_depth; ++l) {
+    for (std::uint64_t s = 0; s < weight_costs_.size(); ++s) {
+      residency_.install(layer_weight_key(l, s));
+      initial_programming_ += weight_costs_[s];
+    }
+  }
+  residency_.install(accel_.softmax_engine().image_key());
+  initial_programming_ += lut_costs_[0];
+}
+
+hw::ProgramCost BatchEncoderSim::lut_image_cost(workload::Dataset dataset) const {
+  return lut_costs_[static_cast<std::size_t>(dataset)];
+}
+
+hw::ProgramCost BatchEncoderSim::layer_weight_cost() const {
+  hw::ProgramCost total;
+  for (const hw::ProgramCost& c : weight_costs_) {
+    total += c;
+  }
+  return total;
+}
+
+ResidencyCharge BatchEncoderSim::touch_residency(std::int64_t num_layers,
+                                                 workload::Dataset dataset) const {
+  ResidencyCharge charge;
+  const fxp::QFormat& fmt = workload::format_for(dataset, config().softmax_format);
+  const auto lut = residency_.acquire(xbar::lut_image_key(fmt),
+                                      lut_image_cost(dataset));
+  (lut.hit ? charge.lut_hits : charge.lut_misses) += 1;
+  charge.programming += lut.charged;
+  for (std::int64_t l = 0; l < num_layers; ++l) {
+    for (std::uint64_t s = 0; s < weight_costs_.size(); ++s) {
+      const auto w = residency_.acquire(layer_weight_key(l, s), weight_costs_[s]);
+      (w.hit ? charge.weight_hits : charge.weight_misses) += 1;
+      charge.programming += w.charged;
+    }
+  }
+  return charge;
 }
 
 const nn::EncoderLayerWeights& BatchEncoderSim::layer_weights(
@@ -42,15 +110,23 @@ const nn::EncoderLayerWeights& BatchEncoderSim::layer_weights(
 nn::Tensor BatchEncoderSim::run_encoder_one(const nn::Tensor& input,
                                             std::uint64_t engine_seed,
                                             std::int64_t num_layers,
-                                            std::int64_t num_shards) const {
+                                            std::int64_t num_shards,
+                                            workload::Dataset dataset,
+                                            ResidencyCharge* charge) const {
   require(input.cols() == static_cast<std::size_t>(bert_.d_model),
           "run_encoder_one: input width must equal d_model");
   require(num_layers >= 1 && num_layers <= stack_depth(),
           "run_encoder_one: num_layers must be in [1, stack_depth]");
   require(num_shards >= 1 && num_shards <= config().num_shards,
           "run_encoder_one: num_shards must be in [1, config().num_shards]");
-  // num_shards only gates admission: the digital partial-sum reduce is
-  // exact, so the payload below is shard-count independent (see header).
+  // num_shards only gates admission and dataset only selects the resident
+  // LUT image: the digital partial-sum reduce is exact and the datapath
+  // always runs in the configured format, so the payload below is
+  // shard-count AND dataset independent (see header).
+  const ResidencyCharge charged = touch_residency(num_layers, dataset);
+  if (charge != nullptr) {
+    *charge = charged;
+  }
   SoftmaxEngineView view(softmax_engine(), engine_seed);
   nn::Tensor x = nn::encoder_layer_forward(input, weights_[0], view);
   for (std::int64_t l = 1; l < num_layers; ++l) {

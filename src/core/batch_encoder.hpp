@@ -22,6 +22,7 @@
 // reproducible across both APIs.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -31,8 +32,30 @@
 #include "nn/bert.hpp"
 #include "sim/batch_scheduler.hpp"
 #include "workload/trace_gen.hpp"
+#include "xbar/residency.hpp"
 
 namespace star::core {
+
+/// What the residency layer charged one request: the programming bill for
+/// every image that was not resident, plus the hit/miss attribution the
+/// serving stats aggregate. All zero on the steady-state single-dataset
+/// path (everything the model owns is installed at construction).
+struct ResidencyCharge {
+  hw::ProgramCost programming{};
+  std::uint64_t lut_hits = 0;
+  std::uint64_t lut_misses = 0;
+  std::uint64_t weight_hits = 0;
+  std::uint64_t weight_misses = 0;
+
+  ResidencyCharge& operator+=(const ResidencyCharge& o) {
+    programming += o.programming;
+    lut_hits += o.lut_hits;
+    lut_misses += o.lut_misses;
+    weight_hits += o.weight_hits;
+    weight_misses += o.weight_misses;
+    return *this;
+  }
+};
 
 class BatchEncoderSim {
  public:
@@ -70,10 +93,22 @@ class BatchEncoderSim {
   /// the output is bit-identical for every admissible shard count/policy —
   /// only the analytic cost model sees K. tests/test_sharded_matmul.cpp
   /// pins this contract.
-  [[nodiscard]] nn::Tensor run_encoder_one(const nn::Tensor& input,
-                                           std::uint64_t engine_seed,
-                                           std::int64_t num_layers = 1,
-                                           std::int64_t num_shards = 1) const;
+  ///
+  /// `dataset` names the softmax CAM/LUT image the request needs resident
+  /// (CNEWS/MRPC/CoLA QFormats; kDefault = the configured format). Like
+  /// sharding it is ACCOUNTING-ONLY and payload-invariant by construction:
+  /// the functional datapath always computes in the configured format, the
+  /// residency layer only decides whether the image swap is charged. Every
+  /// run acquires its dataset's LUT image and the touched layers' weight
+  /// images from the per-sim ResidencyManager; misses charge programming
+  /// cost into `*charge` (pass nullptr to discard — hits are free either
+  /// way, which is the steady state: the model's own images are installed
+  /// at construction).
+  [[nodiscard]] nn::Tensor run_encoder_one(
+      const nn::Tensor& input, std::uint64_t engine_seed,
+      std::int64_t num_layers = 1, std::int64_t num_shards = 1,
+      workload::Dataset dataset = workload::Dataset::kDefault,
+      ResidencyCharge* charge = nullptr) const;
 
   /// Full-hardware attention path: attention_on_star(qkv) with both matmuls
   /// on the crossbar MatMul engine.
@@ -127,10 +162,41 @@ class BatchEncoderSim {
     return accel_.matmul_engine();
   }
 
+  // --- device residency ---
+  /// The per-sim residency manager (capacity = config().residency_capacity;
+  /// internally synchronised — shared by every concurrent request). The
+  /// model's own images (its layers' weights + the configured softmax
+  /// format's LUT image) are installed at construction, so single-dataset
+  /// traffic is all hits from request one.
+  [[nodiscard]] xbar::ResidencyManager& residency() const { return residency_; }
+  /// The one-time construction bill: programming every installed image
+  /// cold (model load). Reported separately — request-time accounting
+  /// starts at zero.
+  [[nodiscard]] hw::ProgramCost initial_programming_cost() const {
+    return initial_programming_;
+  }
+  /// Programming bill of `dataset`'s CAM/LUT image (the LUT-cache miss
+  /// cost), precomputed per format at construction.
+  [[nodiscard]] hw::ProgramCost lut_image_cost(workload::Dataset dataset) const;
+  /// Programming bill of one layer's weight image set (six matrices on
+  /// the monolithic write port — see run_encoder_one's accounting notes).
+  [[nodiscard]] hw::ProgramCost layer_weight_cost() const;
+
  private:
+  [[nodiscard]] ResidencyCharge touch_residency(std::int64_t num_layers,
+                                                workload::Dataset dataset) const;
+
   nn::BertConfig bert_;
   StarAccelerator accel_;  ///< owns the one shared engine pair
   std::vector<nn::EncoderLayerWeights> weights_;  ///< one entry per stack layer
+  /// Per-dataset LUT image costs, indexed by workload::Dataset.
+  std::array<hw::ProgramCost, 4> lut_costs_{};
+  /// Per-matrix weight image bills (slots 0..5, identical across layers).
+  std::array<hw::ProgramCost, 6> weight_costs_{};
+  hw::ProgramCost initial_programming_{};
+  /// Mutable: run_*_one are const (shared model, per-run state), and the
+  /// residency manager IS per-run mutable state — internally synchronised.
+  mutable xbar::ResidencyManager residency_;
 };
 
 }  // namespace star::core

@@ -24,6 +24,8 @@ void StarConfig::validate() const {
   require(max_seq_len >= 2, "StarConfig: max_seq_len must be >= 2");
   require(cam_miss_prob >= 0.0 && cam_miss_prob < 1.0,
           "StarConfig: cam_miss_prob must be in [0, 1)");
+  require(residency_capacity >= 0,
+          "StarConfig: residency_capacity must be >= 0 (0 = unbounded)");
 }
 
 }  // namespace star::core

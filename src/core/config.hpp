@@ -47,6 +47,13 @@ struct StarConfig {
   /// path (missed values read as underflowed exponentials).
   double cam_miss_prob = 0.0;
 
+  /// Device residency (xbar::ResidencyManager): how many programmed images
+  /// (weight matrices + CAM/LUT table sets) the fabric holds at once before
+  /// LRU eviction. 0 = unbounded — the legacy assumption that everything
+  /// ever touched stays resident, which keeps steady-state single-dataset
+  /// runs bit-identical to the pre-residency model.
+  int residency_capacity = 0;
+
   void validate() const;
 };
 

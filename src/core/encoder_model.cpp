@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/weight_images.hpp"
 #include "hw/gates.hpp"
 #include "nn/opcount.hpp"
 #include "util/status.hpp"
@@ -27,8 +28,38 @@ LayerStageTimes EncoderModel::layer_stage_times(const nn::BertConfig& bert,
   return t;
 }
 
+hw::ProgramCost EncoderModel::charge_residency(const nn::BertConfig& bert,
+                                               xbar::ResidencyManager& residency,
+                                               workload::Dataset dataset,
+                                               std::int64_t layer_id) const {
+  require(layer_id >= 0, "charge_residency: layer_id must be >= 0");
+  // One key per static weight matrix, in the shared per-layer namespace of
+  // core/weight_images.hpp. The dynamic score / context matrices are NOT
+  // residency-managed: they are fresh per inference and stream_cost already
+  // charges their writes every run. Miss bills are priced lazily — a warm
+  // run partitions/sizes nothing.
+  const ShardedMatmulEngine& matmul = accel_.sharded_matmul();
+  hw::ProgramCost charged;
+  for (const LayerWeightImage& w : layer_weight_images(bert)) {
+    charged += residency
+                   .acquire(layer_weight_key(layer_id, w.slot),
+                            [&] { return matmul.weight_image_cost(w.m, w.n); })
+                   .charged;
+  }
+  const fxp::QFormat& fmt = workload::format_for(dataset, cfg_.softmax_format);
+  charged +=
+      residency
+          .acquire(xbar::lut_image_key(fmt),
+                   [&] { return SoftmaxEngine::preload_cost_for(cfg_, fmt); })
+          .charged;
+  return charged;
+}
+
 EncoderRunResult EncoderModel::run_encoder_layer(const nn::BertConfig& bert,
-                                                 std::int64_t seq_len) const {
+                                                 std::int64_t seq_len,
+                                                 xbar::ResidencyManager* residency,
+                                                 workload::Dataset dataset,
+                                                 std::int64_t layer_id) const {
   bert.validate();
   require(seq_len >= 2, "EncoderModel: seq_len must be >= 2");
 
@@ -74,6 +105,20 @@ EncoderRunResult EncoderModel::run_encoder_layer(const nn::BertConfig& bert,
               overheads_.static_per_tile *
                   static_cast<double>((ff1.total.tiles + ff2.total.tiles) *
                                       (overheads_.provision_all_layers ? bert.layers : 1));
+
+  // Device residency: charge any cold weight-upload / LUT-image programming
+  // AFTER the steady-state figures above, so a warm cache (every acquire
+  // hits, charged == 0) leaves the result bit-identical to the legacy
+  // no-manager call. Power and attention_time_share stay compute-phase
+  // quantities by design.
+  if (residency != nullptr) {
+    const hw::ProgramCost charged =
+        charge_residency(bert, *residency, dataset, layer_id);
+    res.programming_latency = charged.latency;
+    res.programming_energy = charged.energy;
+    res.latency += charged.latency;
+    res.energy += charged.energy;
+  }
 
   res.report.engine_name = "STAR (full encoder layer)";
   res.report.total_ops = counts.total_ops() + ffn_ops + vec_ops;

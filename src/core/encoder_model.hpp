@@ -11,6 +11,8 @@
 #include "core/accelerator.hpp"
 #include "hw/report.hpp"
 #include "nn/bert.hpp"
+#include "workload/dataset_profile.hpp"
+#include "xbar/residency.hpp"
 
 namespace star::core {
 
@@ -28,6 +30,12 @@ struct EncoderRunResult {
   // inter-shard merge totals of the layer.
   Time interconnect_latency{};
   Energy interconnect_energy{};
+  // Device residency (zero without a manager, and zero again once the
+  // cache is warm): weight-upload + LUT-image reprogramming charged by the
+  // ResidencyManager for this run. Included in latency/energy above;
+  // power/attention_time_share stay steady-state figures (compute only).
+  Time programming_latency{};
+  Energy programming_energy{};
 };
 
 class EncoderModel {
@@ -35,8 +43,29 @@ class EncoderModel {
   EncoderModel(const StarConfig& cfg, SystemOverheads overheads = {});
 
   /// One full encoder layer (attention + FFN + norms) at `seq_len`.
-  [[nodiscard]] EncoderRunResult run_encoder_layer(const nn::BertConfig& bert,
-                                                   std::int64_t seq_len) const;
+  ///
+  /// `residency` (optional) makes programming cost explicit: the layer's
+  /// six static weight images (Wq/Wk/Wv/Wo/FF1/FF2, keyed under
+  /// `layer_id`) and the softmax CAM/LUT image for `dataset` are acquired
+  /// from the manager, and any miss charges its programming bill into the
+  /// result (programming_* fields + latency/energy totals). With a warm
+  /// cache every acquire hits and the result is bit-identical to the
+  /// legacy no-manager call — the same delegation discipline as K = 1
+  /// sharding and N = 1 stacks.
+  [[nodiscard]] EncoderRunResult run_encoder_layer(
+      const nn::BertConfig& bert, std::int64_t seq_len,
+      xbar::ResidencyManager* residency = nullptr,
+      workload::Dataset dataset = workload::Dataset::kDefault,
+      std::int64_t layer_id = 0) const;
+
+  /// The residency touches of one layer run, standalone (the stack model
+  /// charges layers L > 0 through this without re-pricing the compute):
+  /// acquires the layer's weight images and the dataset's LUT image and
+  /// returns the total programming bill (zero when everything is warm).
+  [[nodiscard]] hw::ProgramCost charge_residency(const nn::BertConfig& bert,
+                                                 xbar::ResidencyManager& residency,
+                                                 workload::Dataset dataset,
+                                                 std::int64_t layer_id) const;
 
   /// The layer's per-row stage services (five attention stages + the FFN
   /// stripe rate) — the stack-level schedule building block consumed by

@@ -31,6 +31,12 @@ struct EncoderStackResult {
   double softmax_stage_util = 0.0;     ///< softmax busy share of the stack
   Energy energy{};          ///< num_layers * layer.energy
   Power power{};            ///< same provisioned chip, deeper pipeline
+  // Device residency across the whole stack (zero without a manager or
+  // with a warm cache): cold weight uploads for every layer plus the
+  // dataset's LUT image, included in latency/energy above. `layer` stays
+  // the pure steady-state per-layer record.
+  Time programming_latency{};
+  Energy programming_energy{};
 };
 
 /// Chains N identical encoder layers through the stack-level pipeline
@@ -43,9 +49,14 @@ class EncoderStackModel {
   explicit EncoderStackModel(const StarConfig& cfg, SystemOverheads overheads = {});
 
   /// `num_layers` = 0 uses bert.layers (the model's nominal depth).
-  [[nodiscard]] EncoderStackResult run_encoder_stack(const nn::BertConfig& bert,
-                                                     std::int64_t seq_len,
-                                                     std::int64_t num_layers = 0) const;
+  /// `residency` (optional) charges cold weight-upload / LUT-image
+  /// programming for each of the N layers (layer_id = 0..N-1) before the
+  /// stack streams; a warm cache charges nothing and the result is
+  /// bit-identical to the legacy call (see EncoderModel::run_encoder_layer).
+  [[nodiscard]] EncoderStackResult run_encoder_stack(
+      const nn::BertConfig& bert, std::int64_t seq_len,
+      std::int64_t num_layers = 0, xbar::ResidencyManager* residency = nullptr,
+      workload::Dataset dataset = workload::Dataset::kDefault) const;
 
   [[nodiscard]] const EncoderModel& layer_model() const { return layer_; }
 

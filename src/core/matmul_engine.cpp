@@ -188,6 +188,10 @@ MatmulCost MatmulEngine::stream_cost(std::int64_t b, std::int64_t m, std::int64_
   return out;
 }
 
+hw::ProgramCost MatmulEngine::weight_image_cost(std::int64_t m, std::int64_t n) const {
+  return mapper_.weight_program_cost(m, n, cfg_.device);
+}
+
 Area MatmulEngine::area_for_tiles(std::int64_t tiles) const {
   return proto_tile_.area() * static_cast<double>(tiles);
 }

@@ -49,6 +49,11 @@ class MatmulEngine {
   [[nodiscard]] MatmulCost stream_cost(std::int64_t b, std::int64_t m, std::int64_t n,
                                        bool dynamic_matrix) const;
 
+  /// Residency hook: the bill for (re)programming an M x N static weight
+  /// image onto this engine's tile grid — charged by the ResidencyManager
+  /// when the image is not resident (weight upload / model switch).
+  [[nodiscard]] hw::ProgramCost weight_image_cost(std::int64_t m, std::int64_t n) const;
+
   /// Silicon of `tiles` instantiated tiles.
   [[nodiscard]] Area area_for_tiles(std::int64_t tiles) const;
   [[nodiscard]] Power leakage_for_tiles(std::int64_t tiles) const;

@@ -70,6 +70,19 @@ Time ShardedMatmulEngine::link_row_time(std::int64_t m, std::int64_t n,
          static_cast<double>(flits_for(plan.max_hop_width()));
 }
 
+hw::ProgramCost ShardedMatmulEngine::weight_image_cost(std::int64_t m,
+                                                       std::int64_t n) const {
+  return weight_image_cost(m, n, cfg_.num_shards, cfg_.shard_policy);
+}
+
+hw::ProgramCost ShardedMatmulEngine::weight_image_cost(
+    std::int64_t m, std::int64_t n, int num_shards,
+    xbar::ShardPolicy policy) const {
+  require(num_shards >= 1, "weight_image_cost: num_shards must be >= 1");
+  const xbar::ShardedMapper mapper(base_->mapper(), num_shards, policy);
+  return mapper.weight_program_cost(m, n, cfg_.device);
+}
+
 Time ShardedMatmulEngine::row_service(std::int64_t m, std::int64_t n) const {
   return row_service(m, n, cfg_.num_shards, cfg_.shard_policy);
 }

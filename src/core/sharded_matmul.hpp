@@ -79,6 +79,14 @@ class ShardedMatmulEngine {
                                               int num_shards,
                                               xbar::ShardPolicy policy) const;
 
+  /// Residency hook: programming an M x N weight image over K parallel
+  /// shards (independent write ports: latency = slowest slice, energy =
+  /// sum; K = 1 delegates to the base engine bit-exactly).
+  [[nodiscard]] hw::ProgramCost weight_image_cost(std::int64_t m, std::int64_t n) const;
+  [[nodiscard]] hw::ProgramCost weight_image_cost(std::int64_t m, std::int64_t n,
+                                                  int num_shards,
+                                                  xbar::ShardPolicy policy) const;
+
   /// Per-row service time of this matmul INCLUDING the system overhead —
   /// the stage-times hook. K = 1: tile_latency + per_row_overhead, the
   /// legacy expression, bit-identical. K > 1: tile_latency +

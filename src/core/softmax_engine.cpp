@@ -248,6 +248,28 @@ Energy SoftmaxEngine::preload_energy() const {
          exp_lut_.program_energy() * 2.0;  // LUT + identical summation table
 }
 
+Time SoftmaxEngine::preload_latency() const {
+  // The four tables share one programming port, so the phases serialise
+  // (the energy rule above prices the same four programs).
+  return cam_sub_.program_latency() + exp_cam_.program_latency() +
+         exp_lut_.program_latency() * 2.0;
+}
+
+hw::ProgramCost SoftmaxEngine::preload_cost() const {
+  return hw::ProgramCost{preload_latency(), preload_energy()};
+}
+
+xbar::ImageKey SoftmaxEngine::image_key() const {
+  return xbar::lut_image_key(fmt_);
+}
+
+hw::ProgramCost SoftmaxEngine::preload_cost_for(const StarConfig& cfg,
+                                                const fxp::QFormat& fmt) {
+  StarConfig sized = cfg;
+  sized.softmax_format = fmt;
+  return SoftmaxEngine(sized).preload_cost();
+}
+
 hw::CostSheet SoftmaxEngine::cost_sheet(int d) const {
   hw::CostSheet sheet;
   sheet.add("CAM/SUB crossbar " + std::to_string(cam_sub_.rows()) + "x" +

@@ -34,6 +34,7 @@
 #include "xbar/cam.hpp"
 #include "xbar/cam_sub.hpp"
 #include "xbar/lut.hpp"
+#include "xbar/residency.hpp"
 
 namespace star::core {
 
@@ -103,6 +104,19 @@ class SoftmaxEngine final : public nn::RowSoftmax {
   [[nodiscard]] SoftmaxRowStats compute_row_stats(int d) const;
   /// One-time table preload cost (CAM/SUB codes, exp table, sum table).
   [[nodiscard]] Energy preload_energy() const;
+  /// Time to program those tables (serial phases on the one write port:
+  /// CAM/SUB codes, exp CAM patterns, exp LUT words, summation table).
+  [[nodiscard]] Time preload_latency() const;
+  /// The full programming bill of this engine's CAM/LUT image — what the
+  /// residency layer charges when the image must be (re)programmed.
+  [[nodiscard]] hw::ProgramCost preload_cost() const;
+  /// Residency identity of this engine's image (keyed by operand format).
+  [[nodiscard]] xbar::ImageKey image_key() const;
+  /// Programming bill of the CAM/LUT image for `fmt` on `cfg`'s substrate
+  /// (tech node, device): the per-dataset miss cost of the LUT image cache.
+  /// Sizes a throwaway engine for `fmt` — use at setup, not per row.
+  [[nodiscard]] static hw::ProgramCost preload_cost_for(const StarConfig& cfg,
+                                                        const fxp::QFormat& fmt);
   [[nodiscard]] hw::CostSheet cost_sheet(int d) const;
 
  private:

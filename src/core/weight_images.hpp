@@ -1,0 +1,46 @@
+// The residency-layer schema of one encoder layer's static weight images.
+//
+// BatchEncoderSim (functional path) and EncoderModel/EncoderStackModel
+// (analytic path) must key the SAME images under the SAME ids — a layer's
+// six matrices live in one shared namespace — so the slot list and the key
+// derivation are defined once here and consumed by both.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "nn/bert.hpp"
+#include "xbar/residency.hpp"
+
+namespace star::core {
+
+/// One static weight image: its slot in the layer's key namespace and the
+/// matrix shape it programs.
+struct LayerWeightImage {
+  std::uint64_t slot;
+  std::int64_t m, n;
+};
+
+/// Key-namespace stride per layer — wide enough for the six images plus
+/// headroom, so deepening the schema never collides with the next layer.
+inline constexpr std::uint64_t kWeightImageSlotsPerLayer = 8;
+
+/// The six static weight matrices of one encoder layer, in slot order.
+inline std::array<LayerWeightImage, 6> layer_weight_images(
+    const nn::BertConfig& bert) {
+  return {{{0, bert.d_model, bert.d_model},   // Wq
+           {1, bert.d_model, bert.d_model},   // Wk
+           {2, bert.d_model, bert.d_model},   // Wv
+           {3, bert.d_model, bert.d_model},   // Wo
+           {4, bert.d_model, bert.d_ff},      // FF1
+           {5, bert.d_ff, bert.d_model}}};    // FF2
+}
+
+/// The ImageKey of (layer_id, slot) in the shared weight namespace.
+inline xbar::ImageKey layer_weight_key(std::int64_t layer_id,
+                                       std::uint64_t slot) {
+  return xbar::weight_image_key(
+      static_cast<std::uint64_t>(layer_id) * kWeightImageSlotsPerLayer + slot);
+}
+
+}  // namespace star::core

@@ -6,6 +6,10 @@
 
 namespace star::hw {
 
+ProgramCost ProgramCost::parallel_with(const ProgramCost& o) const {
+  return ProgramCost{std::max(latency, o.latency), energy + o.energy};
+}
+
 Cost Cost::parallel_with(const Cost& o) const {
   return Cost{area + o.area, energy_per_op + o.energy_per_op,
               std::max(latency, o.latency), leakage + o.leakage};

@@ -10,6 +10,38 @@
 
 namespace star::hw {
 
+/// Cost of (re)programming a device image — a weight matrix's cell levels
+/// or a CAM/LUT table — onto crossbar hardware. The primitive the residency
+/// layer charges on a cache miss and every bulk-write path composes from:
+/// serial programming phases add (operator+=), images programmed on
+/// parallel write ports combine via parallel_with (latency max, energy sum).
+struct ProgramCost {
+  Time latency{};
+  Energy energy{};
+
+  ProgramCost& operator+=(const ProgramCost& o) {
+    latency += o.latency;
+    energy += o.energy;
+    return *this;
+  }
+  friend ProgramCost operator+(ProgramCost a, const ProgramCost& b) {
+    a += b;
+    return a;
+  }
+  friend ProgramCost operator*(ProgramCost a, double k) {
+    a.latency = a.latency * k;
+    a.energy = a.energy * k;
+    return a;
+  }
+
+  /// Parallel write ports: the slower image paces, charges add.
+  [[nodiscard]] ProgramCost parallel_with(const ProgramCost& o) const;
+
+  [[nodiscard]] bool is_zero() const {
+    return latency == Time{} && energy == Energy{};
+  }
+};
+
 /// The four cost dimensions every component reports.
 struct Cost {
   Area area{};

@@ -33,6 +33,23 @@ struct RequestStats {
   std::size_t batch_size = 0;    ///< how many requests shared the batch
   double queue_wait_s = 0.0;     ///< admission -> dispatch
   double service_s = 0.0;        ///< dispatch -> completion (compute)
+
+  // What the request asked for (mixed-depth / mixed-shard traffic
+  // attribution; 0 on request kinds without the knob, e.g. attention).
+  std::int64_t num_layers = 0;
+  std::int64_t num_shards = 0;
+
+  // Device-residency accounting of THIS request (encoder requests only):
+  // modelled programming time charged for images that were not resident,
+  // and the hit/miss attribution behind it. Which request of a batch pays
+  // a shared cold miss depends on dispatch interleaving — totals across a
+  // trace are deterministic whenever the residency capacity is not
+  // exceeded, per-request attribution is not.
+  double programming_us = 0.0;
+  std::uint64_t lut_hits = 0;
+  std::uint64_t lut_misses = 0;
+  std::uint64_t weight_hits = 0;
+  std::uint64_t weight_misses = 0;
 };
 
 struct EncoderRequest {
@@ -50,6 +67,14 @@ struct EncoderRequest {
   /// integer reduce), so the payload stays a function of
   /// (input, run_seed, num_layers) for every admissible shard count.
   std::int64_t num_shards = 1;
+  /// The dataset whose softmax CAM/LUT image must be resident (selects the
+  /// operand QFormat: CNEWS/MRPC/CoLA, or kDefault = the model's configured
+  /// format). ACCOUNTING-ONLY and payload-invariant by construction — the
+  /// datapath always computes in the configured format; a non-resident
+  /// image charges reprogramming cost into this request's RequestStats and
+  /// the server's residency counters. The payload therefore remains a
+  /// function of (input, run_seed, num_layers) under mixed-dataset traffic.
+  workload::Dataset dataset = workload::Dataset::kDefault;
 };
 
 struct EncoderResponse {

@@ -35,14 +35,26 @@ void StatsAccumulator::on_batch(std::size_t occupancy) {
   occupancy_max_ = std::max(occupancy_max_, occupancy);
 }
 
-void StatsAccumulator::on_done(double queue_wait_s, double service_s, bool ok) {
+void StatsAccumulator::on_done(const RequestStats& rs, bool ok) {
   (ok ? completed_ : failed_) += 1;
-  queue_wait_sum_s_ += queue_wait_s;
-  service_sum_s_ += service_s;
+  queue_wait_sum_s_ += rs.queue_wait_s;
+  service_sum_s_ += rs.service_s;
+  if (rs.num_layers >= 1) {
+    ++shaped_requests_;
+    num_layers_sum_ += static_cast<std::uint64_t>(rs.num_layers);
+    num_layers_max_ = std::max(num_layers_max_, rs.num_layers);
+    num_shards_sum_ += static_cast<std::uint64_t>(rs.num_shards);
+    num_shards_max_ = std::max(num_shards_max_, rs.num_shards);
+  }
+  lut_hits_ += rs.lut_hits;
+  lut_misses_ += rs.lut_misses;
+  weight_hits_ += rs.weight_hits;
+  weight_misses_ += rs.weight_misses;
+  programming_sum_us_ += rs.programming_us;
   const std::uint64_t seen = completed_ + failed_;
   if (queue_wait_s_.size() < kMaxLatencySamples) {
-    queue_wait_s_.push_back(queue_wait_s);
-    service_s_.push_back(service_s);
+    queue_wait_s_.push_back(rs.queue_wait_s);
+    service_s_.push_back(rs.service_s);
   } else {
     // Algorithm R: the reservoir stays a uniform sample of all `seen`
     // completions. The two vectors are replaced at the same slot so each
@@ -50,8 +62,8 @@ void StatsAccumulator::on_done(double queue_wait_s, double service_s, bool ok) {
     const auto j = static_cast<std::uint64_t>(reservoir_rng_.uniform_int(
         0, static_cast<std::int64_t>(seen) - 1));
     if (j < kMaxLatencySamples) {
-      queue_wait_s_[static_cast<std::size_t>(j)] = queue_wait_s;
-      service_s_[static_cast<std::size_t>(j)] = service_s;
+      queue_wait_s_[static_cast<std::size_t>(j)] = rs.queue_wait_s;
+      service_s_[static_cast<std::size_t>(j)] = rs.service_s;
     }
   }
 }
@@ -77,6 +89,22 @@ ServerStats StatsAccumulator::snapshot() const {
                     : static_cast<double>(occupancy_sum_) /
                           static_cast<double>(batches_);
   s.batch_occupancy_max = occupancy_max_;
+  if (shaped_requests_ > 0) {
+    const auto shaped = static_cast<double>(shaped_requests_);
+    s.num_layers_mean = static_cast<double>(num_layers_sum_) / shaped;
+    s.num_shards_mean = static_cast<double>(num_shards_sum_) / shaped;
+  }
+  s.num_layers_max = num_layers_max_;
+  s.num_shards_max = num_shards_max_;
+  s.lut_hits = lut_hits_;
+  s.lut_misses = lut_misses_;
+  s.weight_hits = weight_hits_;
+  s.weight_misses = weight_misses_;
+  s.programming_us_total = programming_sum_us_;
+  const double programming_s = programming_sum_us_ * 1e-6;
+  s.programming_time_share =
+      programming_s > 0.0 ? programming_s / (service_sum_s_ + programming_s)
+                          : 0.0;
   return s;
 }
 

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "serve/request.hpp"
 #include "util/rng.hpp"
 
 namespace star::serve {
@@ -37,6 +38,26 @@ struct ServerStats {
   // Formed-batch occupancy (requests per dispatched batch).
   double batch_occupancy_mean = 0.0;
   std::size_t batch_occupancy_max = 0;
+
+  // Per-request shape breakdown over completed + failed requests that
+  // carried the knob (num_layers >= 1, i.e. encoder requests) — makes
+  // mixed-depth / mixed-shard traffic attributable from the snapshot.
+  double num_layers_mean = 0.0;
+  std::int64_t num_layers_max = 0;
+  double num_shards_mean = 0.0;
+  std::int64_t num_shards_max = 0;
+
+  // Device residency over completed + failed requests: LUT-image and
+  // weight-upload hit/miss totals and the modelled programming time they
+  // charged. programming_time_share relates that modelled reprogramming
+  // stall to the observed wall-clock service time (programming / (service
+  // + programming)) — zero on warm single-dataset traffic.
+  std::uint64_t lut_hits = 0;
+  std::uint64_t lut_misses = 0;
+  std::uint64_t weight_hits = 0;
+  std::uint64_t weight_misses = 0;
+  double programming_us_total = 0.0;
+  double programming_time_share = 0.0;
 };
 
 /// Mutable accumulator behind ServerStats. NOT internally synchronised:
@@ -55,7 +76,10 @@ class StatsAccumulator {
   void on_rejected() { ++rejected_; }
   void on_shed() { ++shed_; }
   void on_batch(std::size_t occupancy);
-  void on_done(double queue_wait_s, double service_s, bool ok);
+  /// Record one resolved request. Reads the phase timings, the request
+  /// shape (num_layers/num_shards, when >= 1) and the residency charges
+  /// from `rs`.
+  void on_done(const RequestStats& rs, bool ok);
 
   [[nodiscard]] ServerStats snapshot() const;
 
@@ -66,6 +90,16 @@ class StatsAccumulator {
   std::size_t occupancy_max_ = 0;
   double queue_wait_sum_s_ = 0.0;
   double service_sum_s_ = 0.0;
+  // Shape breakdown (encoder requests: num_layers >= 1).
+  std::uint64_t shaped_requests_ = 0;
+  std::uint64_t num_layers_sum_ = 0;
+  std::int64_t num_layers_max_ = 0;
+  std::uint64_t num_shards_sum_ = 0;
+  std::int64_t num_shards_max_ = 0;
+  // Residency accounting.
+  std::uint64_t lut_hits_ = 0, lut_misses_ = 0;
+  std::uint64_t weight_hits_ = 0, weight_misses_ = 0;
+  double programming_sum_us_ = 0.0;
   std::vector<double> queue_wait_s_;  ///< reservoir, paired by index
   std::vector<double> service_s_;
   Rng reservoir_rng_{0x57A75E54};

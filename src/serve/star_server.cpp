@@ -83,17 +83,28 @@ std::future<Response> StarServer::submit_impl(ComputeFn compute) {
           std::chrono::duration<double>(ctx.dispatched - enqueued).count();
       const auto t0 = Clock::now();
       try {
+        // compute() pre-fills the request-shape and residency fields of
+        // resp.stats; only the placement/timing facts are stamped here.
         Response resp = compute();
         const double service =
             std::chrono::duration<double>(Clock::now() - t0).count();
-        resp.stats =
-            RequestStats{id, ctx.batch_id, ctx.batch_size, queue_wait, service};
-        record_done(queue_wait, service, /*ok=*/true);
+        resp.stats.request_id = id;
+        resp.stats.batch_id = ctx.batch_id;
+        resp.stats.batch_size = ctx.batch_size;
+        resp.stats.queue_wait_s = queue_wait;
+        resp.stats.service_s = service;
+        record_done(resp.stats, /*ok=*/true);
         promise->set_value(std::move(resp));
       } catch (...) {
         const double service =
             std::chrono::duration<double>(Clock::now() - t0).count();
-        record_done(queue_wait, service, /*ok=*/false);
+        RequestStats failed;
+        failed.request_id = id;
+        failed.batch_id = ctx.batch_id;
+        failed.batch_size = ctx.batch_size;
+        failed.queue_wait_s = queue_wait;
+        failed.service_s = service;
+        record_done(failed, /*ok=*/false);
         promise->set_exception(std::current_exception());
       }
     };
@@ -111,9 +122,18 @@ std::future<Response> StarServer::submit_impl(ComputeFn compute) {
 std::future<EncoderResponse> StarServer::submit(EncoderRequest req) {
   return submit_impl<EncoderResponse>([this, req = std::move(req)] {
     EncoderResponse resp;
+    core::ResidencyCharge charge;
     resp.output = model_.run_encoder_one(req.input,
                                          workload::sequence_seed(req.run_seed, 0),
-                                         req.num_layers, req.num_shards);
+                                         req.num_layers, req.num_shards,
+                                         req.dataset, &charge);
+    resp.stats.num_layers = req.num_layers;
+    resp.stats.num_shards = req.num_shards;
+    resp.stats.programming_us = charge.programming.latency.as_us();
+    resp.stats.lut_hits = charge.lut_hits;
+    resp.stats.lut_misses = charge.lut_misses;
+    resp.stats.weight_hits = charge.weight_hits;
+    resp.stats.weight_misses = charge.weight_misses;
     return resp;
   });
 }
@@ -195,9 +215,9 @@ void StarServer::batcher_loop() {
   }
 }
 
-void StarServer::record_done(double queue_wait_s, double service_s, bool ok) {
+void StarServer::record_done(const RequestStats& rs, bool ok) {
   std::lock_guard<std::mutex> lk(mu_);
-  stats_.on_done(queue_wait_s, service_s, ok);
+  stats_.on_done(rs, ok);
 }
 
 void StarServer::drain() {

@@ -127,7 +127,7 @@ class StarServer {
   template <typename Response, typename ComputeFn>
   std::future<Response> submit_impl(ComputeFn compute);
   void batcher_loop();
-  void record_done(double queue_wait_s, double service_s, bool ok);
+  void record_done(const RequestStats& rs, bool ok);
 
   const core::BatchEncoderSim& model_;
   sim::BatchScheduler& sched_;

@@ -7,6 +7,34 @@
 
 namespace star::workload {
 
+const char* to_string(Dataset d) {
+  switch (d) {
+    case Dataset::kDefault: return "default";
+    case Dataset::kCnews: return "cnews";
+    case Dataset::kMrpc: return "mrpc";
+    case Dataset::kCola: return "cola";
+  }
+  return "?";
+}
+
+std::optional<Dataset> parse_dataset(std::string_view name) {
+  if (name == "default") return Dataset::kDefault;
+  if (name == "cnews") return Dataset::kCnews;
+  if (name == "mrpc") return Dataset::kMrpc;
+  if (name == "cola") return Dataset::kCola;
+  return std::nullopt;
+}
+
+const fxp::QFormat& format_for(Dataset d, const fxp::QFormat& default_format) {
+  switch (d) {
+    case Dataset::kCnews: return fxp::kCnewsFormat;
+    case Dataset::kMrpc: return fxp::kMrpcFormat;
+    case Dataset::kCola: return fxp::kColaFormat;
+    case Dataset::kDefault: break;
+  }
+  return default_format;
+}
+
 std::vector<double> DatasetProfile::sample_row(std::size_t len, Rng& rng) const {
   require(len >= 2, "DatasetProfile::sample_row: row length must be >= 2");
   std::vector<double> row(len);

@@ -15,12 +15,38 @@
 //     -> 3 bits; CNEWS/CoLA are peaked -> 2 bits).
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "fxp/qformat.hpp"
 #include "util/rng.hpp"
 
 namespace star::workload {
+
+/// The serving-layer name of a request's dataset. It selects which
+/// CAM/LUT image (operand QFormat) the softmax engine must have resident —
+/// a COST-ACCOUNTING property only: the functional datapath always runs in
+/// the engine's configured format, so the payload of a request is
+/// dataset-invariant (the determinism contract in serve/request.hpp).
+/// kDefault means "whatever format the model was configured with".
+enum class Dataset : std::uint8_t {
+  kDefault = 0,
+  kCnews,  ///< Q6.2u (8-bit) operands
+  kMrpc,   ///< Q6.3u (9-bit) operands
+  kCola,   ///< Q5.2u (7-bit) operands
+};
+
+[[nodiscard]] const char* to_string(Dataset d);
+/// Parse "default" / "cnews" / "mrpc" / "cola" (case-sensitive).
+[[nodiscard]] std::optional<Dataset> parse_dataset(std::string_view name);
+
+/// The operand format a named dataset's LUT/CAM image encodes; kDefault
+/// resolves to `default_format` (the model's configured format).
+[[nodiscard]] const fxp::QFormat& format_for(Dataset d,
+                                             const fxp::QFormat& default_format);
 
 struct DatasetProfile {
   std::string name;

@@ -1,5 +1,7 @@
 #include "xbar/mapper.hpp"
 
+#include <algorithm>
+
 #include "util/math.hpp"
 #include "util/status.hpp"
 
@@ -34,6 +36,18 @@ MappingCost Mapper::map_dynamic(std::int64_t b, std::int64_t m, std::int64_t n) 
   // `slices_` physical columns per logical weight.
   mc.cell_writes = m * n * slices_;
   return mc;
+}
+
+hw::ProgramCost Mapper::weight_program_cost(std::int64_t m, std::int64_t n,
+                                            const RramDevice& device) const {
+  require(m >= 1 && n >= 1, "Mapper::weight_program_cost: dims must be >= 1");
+  hw::ProgramCost pc;
+  pc.energy = device.write_energy() * static_cast<double>(m * n * slices_);
+  // Row-parallel programming: every tile programs its rows concurrently,
+  // bounded by the deepest stripe (the dynamic-matrix write rule).
+  pc.latency = device.write_latency() *
+               static_cast<double>(std::min<std::int64_t>(m, tile_rows_));
+  return pc;
 }
 
 }  // namespace star::xbar

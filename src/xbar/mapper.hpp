@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "hw/component.hpp"
 #include "util/units.hpp"
 #include "xbar/device.hpp"
 
@@ -42,6 +43,14 @@ class Mapper {
   /// be programmed first — counts the cell writes (x weight slices).
   [[nodiscard]] MappingCost map_dynamic(std::int64_t b, std::int64_t m,
                                         std::int64_t n) const;
+
+  /// Residency hook: cost of programming an M x N weight image onto its
+  /// tile grid with `device` — the bill the ResidencyManager charges when
+  /// the image is not resident. Same write model as the dynamic-matrix
+  /// path: m*n*slices cell writes, row-parallel across the grid (latency
+  /// bounded by the deepest stripe).
+  [[nodiscard]] hw::ProgramCost weight_program_cost(std::int64_t m, std::int64_t n,
+                                                    const RramDevice& device) const;
 
   [[nodiscard]] int tile_rows() const { return tile_rows_; }
   [[nodiscard]] int tile_logical_cols() const { return tile_cols_; }

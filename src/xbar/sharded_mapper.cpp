@@ -163,4 +163,18 @@ std::vector<MappingCost> ShardedMapper::map_dynamic(std::int64_t b, std::int64_t
   return out;
 }
 
+hw::ProgramCost ShardedMapper::weight_program_cost(std::int64_t m, std::int64_t n,
+                                                   const RramDevice& device) const {
+  if (num_shards_ == 1) {
+    // Delegate, don't recompute: the K = 1 bill is the monolithic one.
+    return base_.weight_program_cost(m, n, device);
+  }
+  const ShardPlan plan = plan_for(m, n);
+  hw::ProgramCost pc;
+  for (const ShardSlice& s : plan.slices) {
+    pc = pc.parallel_with(base_.weight_program_cost(s.m, s.n, device));
+  }
+  return pc;
+}
+
 }  // namespace star::xbar

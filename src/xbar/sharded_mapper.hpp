@@ -86,6 +86,14 @@ class ShardedMapper {
   [[nodiscard]] std::vector<MappingCost> map_dynamic(std::int64_t b, std::int64_t m,
                                                      std::int64_t n) const;
 
+  /// Residency hook: programming an M x N weight image spread over the K
+  /// shards. Shards own independent write ports, so slices program in
+  /// parallel — latency is the slowest slice's, energy sums (the cell
+  /// writes are conserved exactly: slices partition the matrix). K = 1
+  /// equals base().weight_program_cost bit-for-bit.
+  [[nodiscard]] hw::ProgramCost weight_program_cost(std::int64_t m, std::int64_t n,
+                                                    const RramDevice& device) const;
+
   [[nodiscard]] const Mapper& base() const { return base_; }
   [[nodiscard]] int num_shards() const { return num_shards_; }
   [[nodiscard]] ShardPolicy policy() const { return policy_; }

@@ -4,7 +4,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "baseline/cmos_softmax.hpp"
 #include "core/softmax_engine.hpp"
@@ -176,6 +181,62 @@ TEST(SoftmaxEngine, PreloadEnergyIndependentOfRuntimeKnobs) {
   faulty.max_seq_len = 256;
   EXPECT_EQ(SoftmaxEngine(base).preload_energy().as_J(),
             SoftmaxEngine(faulty).preload_energy().as_J());
+}
+
+TEST(SoftmaxEngine, PreloadCostBundlesEnergyAndLatency) {
+  const SoftmaxEngine eng(config_for(fxp::kMrpcFormat));
+  const hw::ProgramCost pc = eng.preload_cost();
+  EXPECT_EQ(pc.energy.as_J(), eng.preload_energy().as_J());
+  EXPECT_EQ(pc.latency.as_ns(), eng.preload_latency().as_ns());
+  EXPECT_GT(pc.latency.as_ns(), 0.0);
+  // The static per-format helper prices exactly the engine an on-the-fly
+  // construction would: the residency layer's miss bill is well defined.
+  const hw::ProgramCost via_helper =
+      SoftmaxEngine::preload_cost_for(config_for(fxp::kCnewsFormat),
+                                      fxp::kMrpcFormat);
+  EXPECT_EQ(via_helper.energy.as_J(), pc.energy.as_J());
+  EXPECT_EQ(via_helper.latency.as_ns(), pc.latency.as_ns());
+}
+
+// ---------- golden-file regression: per-format preload bills ----------
+// tests/golden/softmax_preload.csv pins the exact doubles of each paper
+// format's CAM/LUT image programming bill — the miss cost the residency
+// cache charges. Doubles are written with 17 significant digits, so strtod
+// round-trips the recorded bits (same discipline as matmul_costs.csv).
+
+TEST(SoftmaxEngineGolden, PreloadCostsMatchGoldenExactly) {
+  const std::string path =
+      std::string(STAR_TEST_GOLDEN_DIR) + "/softmax_preload.csv";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file: " << path;
+  std::string line;
+  std::getline(in, line);  // header
+  int rows = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::stringstream ss(line);
+    std::string cell;
+    std::vector<std::string> cells;
+    while (std::getline(ss, cell, ',')) {
+      cells.push_back(cell);
+    }
+    ASSERT_EQ(cells.size(), 6u) << "malformed golden row: " << line;
+    const fxp::QFormat fmt =
+        fxp::make_unsigned(std::atoi(cells[1].c_str()), std::atoi(cells[2].c_str()));
+    const SoftmaxEngine eng(config_for(fmt));
+    EXPECT_EQ(fmt.name(), cells[0]);
+    EXPECT_EQ(fmt.total_bits(), std::atoi(cells[3].c_str())) << cells[0];
+    EXPECT_EQ(eng.preload_energy().as_nJ(),
+              std::strtod(cells[4].c_str(), nullptr))
+        << cells[0];
+    EXPECT_EQ(eng.preload_latency().as_ns(),
+              std::strtod(cells[5].c_str(), nullptr))
+        << cells[0];
+    ++rows;
+  }
+  EXPECT_EQ(rows, 3) << "golden must cover CNEWS, MRPC and CoLA";
 }
 
 TEST(SoftmaxEngine, WiderFormatCostsMoreArea) {
