@@ -31,14 +31,27 @@
 // nonzero while every response stays bit-identical to its solo reference
 // (datasets are accounting-only by construction).
 //
+// Part 6 (length-aware serving, with --length-dist != fixed): requests
+// drawn from a per-dataset length histogram served twice LIVE — once under
+// the pad-to-max baseline, once length-bucketed (--buckets) — every
+// response bit-identical to its solo reference under BOTH policies, with
+// the token-level occupancy split (effective vs padded vs capacity) showing
+// what bucketing buys. Always followed by a deterministic virtual-time SOAK
+// (serve::simulate_batching): ~10^6 synthetic arrivals on a bursty
+// inhomogeneous-Poisson trace replayed through both policies with streaming
+// (bounded-memory) stats, so the bucketed-vs-pad-to-max waste relation is
+// an exact, reproducible number CI can pin.
+//
 // Flags (see --help): --threads, --batch, --seqlen, --layers, --shards,
-// --mixed-datasets, --residency-cap.
+// --mixed-datasets, --residency-cap, --length-dist, --buckets,
+// --soak-arrivals.
 // The last stdout line is a one-line JSON summary for BENCH_*.json
 // tracking, validated by CI (`tail -n 1 | python3 -m json.tool`).
 // Wall-clock speedup tracks the physical cores of the host (a
 // single-core container converges to ~1x; correctness is still exercised).
 #include <chrono>
 #include <climits>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -48,11 +61,13 @@
 
 #include "core/batch_encoder.hpp"
 #include "core/encoder_stack.hpp"
+#include "serve/batch_sim.hpp"
 #include "serve/star_server.hpp"
 #include "util/argparse.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "workload/arrival_trace.hpp"
+#include "workload/dataset_profile.hpp"
 
 namespace {
 
@@ -74,6 +89,39 @@ bool byte_identical(const std::vector<star::nn::Tensor>& a,
     }
   }
   return true;
+}
+
+// "auto" = one bucket per histogram bin length (zero intra-bucket padding
+// for traffic drawn from that histogram); otherwise a comma-separated
+// strictly increasing edge list, validated by LengthBucketing.
+std::vector<std::int64_t> parse_bucket_edges(
+    const std::string& spec, const star::workload::LengthHistogram& hist) {
+  std::vector<std::int64_t> edges;
+  if (spec == "auto") {
+    edges.reserve(hist.bins.size());
+    for (const auto& bin : hist.bins) {
+      edges.push_back(bin.len);
+    }
+    return edges;
+  }
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    const std::string tok = spec.substr(pos, comma - pos);
+    char* end = nullptr;
+    const long long v = std::strtoll(tok.c_str(), &end, 10);
+    if (tok.empty() || end == tok.c_str() || *end != '\0') {
+      std::fprintf(stderr, "--buckets: malformed edge '%s' in '%s'\n",
+                   tok.c_str(), spec.c_str());
+      std::exit(2);
+    }
+    edges.push_back(static_cast<std::int64_t>(v));
+    pos = comma + 1;
+  }
+  return edges;
 }
 
 }  // namespace
@@ -103,6 +151,16 @@ int main(int argc, char** argv) {
                "resident-image capacity of the residency cache (0 = "
                "unbounded; small values force eviction churn)",
                0, INT_MAX);
+  args.add_string("length-dist", "fixed",
+                  "request-length distribution for the length-aware serve + "
+                  "soak sections (fixed = every request --seqlen tokens)",
+                  {"fixed", "cnews", "mrpc", "cola", "mixed"});
+  args.add_string("buckets", "auto",
+                  "bucket edges for length-bucketed batching: 'auto' (one "
+                  "bucket per histogram bin) or a comma list, e.g. 32,64,128");
+  args.add_int("soak-arrivals", 1000000,
+               "synthetic arrivals in the deterministic batching soak", 1000,
+               INT_MAX);
   args.parse(argc, argv);
 
   const long threads_flag = args.get_int("threads");
@@ -111,7 +169,34 @@ int main(int argc, char** argv) {
   const auto num_layers = static_cast<std::int64_t>(args.get_int("layers"));
   const auto num_shards = static_cast<std::int64_t>(args.get_int("shards"));
   const bool mixed_datasets = args.get_flag("mixed-datasets");
+  const std::string length_dist = args.get_string("length-dist");
+  const bool mixed_lengths = length_dist != "fixed";
   constexpr std::uint64_t kSeed = 0xBA7C4ED;
+
+  // The length dimension: the histogram traffic is drawn from, and the
+  // bucket edges the length-bucketed policy pads to. With --length-dist
+  // fixed the histogram degenerates to a point mass at --seqlen (auto
+  // buckets = the single edge seq_len, so both policies coincide).
+  const workload::LengthHistogram length_hist = [&] {
+    if (length_dist == "cnews") {
+      return workload::length_histogram_for(workload::Dataset::kCnews);
+    }
+    if (length_dist == "mrpc") {
+      return workload::length_histogram_for(workload::Dataset::kMrpc);
+    }
+    if (length_dist == "cola") {
+      return workload::length_histogram_for(workload::Dataset::kCola);
+    }
+    if (length_dist == "mixed") {
+      return workload::length_histogram_for(workload::Dataset::kDefault);
+    }
+    return workload::LengthHistogram::fixed(
+        static_cast<std::int64_t>(args.get_int("seqlen")));
+  }();
+  const std::vector<std::int64_t> bucket_edges =
+      parse_bucket_edges(args.get_string("buckets"), length_hist);
+  const auto soak_arrivals =
+      static_cast<std::size_t>(args.get_int("soak-arrivals"));
 
   core::StarConfig cfg;
   cfg.num_shards = static_cast<int>(num_shards);  // provision K shards
@@ -357,6 +442,123 @@ int main(int argc, char** argv) {
   std::printf("  interconnect      %.3f us merge time, %.3f uJ link traffic\n",
               interconnect_us, shard_layer.interconnect_energy.as_uJ());
 
+  // --- Part 6: length-aware serving ---------------------------------------
+  // 6a (live, --length-dist != fixed): the same variable-length requests
+  // served under BOTH padding policies; payloads must be bit-identical to
+  // solo references under both (bucketing is scheduling/accounting-only),
+  // while the token-occupancy split separates the policies.
+  double live_ptm_waste = 0.0, live_bkt_waste = 0.0;
+  double live_ptm_eff = 0.0, live_bkt_eff = 0.0;
+  if (mixed_lengths) {
+    const auto lens = workload::sample_lengths(length_hist, batch, kSeed ^ 0x11);
+    std::vector<nn::Tensor> var_inputs;
+    std::vector<nn::Tensor> var_refs;
+    var_inputs.reserve(batch);
+    var_refs.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      var_inputs.push_back(workload::embedding_batch(
+          1, static_cast<std::size_t>(lens[i]),
+          static_cast<std::size_t>(bert.d_model), 1.0, kSeed + 7000 + i)[0]);
+      const nn::Tensor one[] = {var_inputs.back()};
+      var_refs.push_back(std::move(model.run_encoder_batch(
+          one, seq_sched, kSeed + 7000 + i, num_layers, num_shards)[0]));
+    }
+    const auto var_trace = workload::ArrivalTrace::generate(
+        batch, workload::ArrivalProcess::kPoisson, mean_inter_arrival_us,
+        kSeed ^ 0x22);
+
+    serve::LengthBucketing policies[2];
+    policies[0] = serve::LengthBucketing::pad_to_max();
+    policies[1] = serve::LengthBucketing::bucketed(bucket_edges);
+    std::printf("\nLength-aware serving (live, dist=%s, %zu requests):\n",
+                length_dist.c_str(), batch);
+    for (int p = 0; p < 2; ++p) {
+      serve::ServerOptions var_opts = opts;
+      var_opts.batcher.bucketing = policies[p];
+      sim::BatchScheduler var_sched(serve_threads);
+      serve::StarServer var_server(model, var_sched, var_opts);
+      std::vector<std::future<serve::EncoderResponse>> var_futs;
+      var_futs.reserve(batch);
+      const auto var_t0 = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < batch; ++i) {
+        std::this_thread::sleep_until(
+            var_t0 + std::chrono::microseconds(
+                         static_cast<long>(var_trace.arrival_ticks[i])));
+        var_futs.push_back(var_server.submit(serve::EncoderRequest{
+            var_inputs[i], kSeed + 7000 + i, num_layers, num_shards}));
+      }
+      bool policy_identical = true;
+      for (std::size_t i = 0; i < var_futs.size(); ++i) {
+        policy_identical =
+            policy_identical &&
+            nn::Tensor::bit_identical(var_futs[i].get().output, var_refs[i]);
+      }
+      all_identical = all_identical && policy_identical;
+      const auto var_stats = var_server.stats();
+      (p == 0 ? live_ptm_waste : live_bkt_waste) = var_stats.padding_waste;
+      (p == 0 ? live_ptm_eff : live_bkt_eff) = var_stats.effective_occupancy;
+      std::printf("  %-14s occupancy eff %.3f / padded %.3f, waste %.3f, "
+                  "%llu batches, bit-identical %s\n",
+                  serve::to_string(policies[p].mode),
+                  var_stats.effective_occupancy, var_stats.padded_occupancy,
+                  var_stats.padding_waste,
+                  static_cast<unsigned long long>(var_stats.batches),
+                  policy_identical ? "yes" : "NO (BUG)");
+    }
+  }
+
+  // 6b (soak): deterministic virtual-time replay of both policies over the
+  // SAME bursty ~10^6-arrival trace. Streaming (bounded-memory) stats;
+  // exactly reproducible, so the waste relation below is CI-pinnable.
+  workload::BurstShape burst;
+  // Offered load ~2x the full-batch service rate so queues stay backlogged
+  // and batch formation (not arrival starvation) decides occupancy.
+  serve::BatchSimConfig soak_cfg;
+  soak_cfg.max_batch = opts.batcher.max_batch;
+  soak_cfg.max_wait_ticks = 8;
+  burst.mean_inter_arrival_ticks =
+      0.5 * (soak_cfg.batch_overhead_ticks /
+                 static_cast<double>(soak_cfg.max_batch) +
+             soak_cfg.ticks_per_token * length_hist.mean_len());
+  const auto soak_lens =
+      workload::sample_lengths(length_hist, soak_arrivals, kSeed ^ 0x50AC);
+  const auto soak_trace =
+      workload::ArrivalTrace::generate_burst(soak_arrivals, burst, kSeed);
+  serve::BatchSimConfig ptm_cfg = soak_cfg;
+  ptm_cfg.bucketing = serve::LengthBucketing::pad_to_max();
+  serve::BatchSimConfig bkt_cfg = soak_cfg;
+  bkt_cfg.bucketing = serve::LengthBucketing::bucketed(bucket_edges);
+  const auto soak_ptm = serve::simulate_batching(soak_trace, soak_lens, ptm_cfg);
+  const auto soak_bkt = serve::simulate_batching(soak_trace, soak_lens, bkt_cfg);
+
+  std::printf("\nBatching soak (virtual time, burst arrivals, dist=%s, "
+              "%zu arrivals, mean len %.1f):\n",
+              length_dist.c_str(), soak_arrivals, length_hist.mean_len());
+  const auto print_soak = [&](const char* label,
+                              const serve::BatchSimResult& r) {
+    std::printf("  %-14s occupancy eff %.3f / padded %.3f, waste %.3f, "
+                "%llu batches, wait mean %.1f p99 %.1f ticks, util %.3f\n",
+                label, r.stats.effective_occupancy, r.stats.padded_occupancy,
+                r.stats.padding_waste,
+                static_cast<unsigned long long>(r.stats.batches),
+                r.stats.queue_wait_mean_s, r.stats.queue_wait_p99_s,
+                r.utilization);
+  };
+  print_soak("pad-to-max", soak_ptm);
+  print_soak("bucketed", soak_bkt);
+  if (mixed_lengths) {
+    std::printf("  per bucket (bucketed):");
+    for (const auto& b : soak_bkt.stats.per_bucket) {
+      if (b.requests == 0) {
+        continue;
+      }
+      std::printf(" [<=%lld: %llu req, waste %.3f]",
+                  static_cast<long long>(b.edge),
+                  static_cast<unsigned long long>(b.requests), b.padding_waste);
+    }
+    std::printf("\n");
+  }
+
   std::printf("\nShared immutable model, per-sequence run state; results are "
               "%s across all modes. rows written to "
               "bench_batched_encoder.csv\n",
@@ -378,6 +580,20 @@ int main(int argc, char** argv) {
               "\"lut_hits\":%llu,\"lut_misses\":%llu,"
               "\"weight_misses\":%llu,\"programming_us\":%.4f,"
               "\"programming_share\":%.6f,"
+              "\"length_dist\":\"%s\",\"num_buckets\":%zu,"
+              "\"effective_occupancy\":%.6f,\"padded_occupancy\":%.6f,"
+              "\"padding_waste\":%.6f,"
+              "\"live_padtomax_waste\":%.6f,\"live_bucketed_waste\":%.6f,"
+              "\"live_padtomax_effective_occupancy\":%.6f,"
+              "\"live_bucketed_effective_occupancy\":%.6f,"
+              "\"soak_arrivals\":%zu,"
+              "\"soak_padtomax_waste\":%.6f,\"soak_bucketed_waste\":%.6f,"
+              "\"soak_padtomax_effective_occupancy\":%.6f,"
+              "\"soak_bucketed_effective_occupancy\":%.6f,"
+              "\"soak_padtomax_padded_occupancy\":%.6f,"
+              "\"soak_bucketed_padded_occupancy\":%.6f,"
+              "\"soak_padtomax_wait_p99_ticks\":%.4f,"
+              "\"soak_bucketed_wait_p99_ticks\":%.4f,"
               "\"identical\":%s}\n",
               serve_threads, batch, seq_len,
               static_cast<long long>(stack.num_layers), closed_seq_per_s,
@@ -395,6 +611,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.lut_misses),
               static_cast<unsigned long long>(stats.weight_misses),
               stats.programming_us_total, stats.programming_time_share,
+              length_dist.c_str(), bucket_edges.size(),
+              stats.effective_occupancy, stats.padded_occupancy,
+              stats.padding_waste, live_ptm_waste, live_bkt_waste,
+              live_ptm_eff, live_bkt_eff, soak_arrivals,
+              soak_ptm.stats.padding_waste, soak_bkt.stats.padding_waste,
+              soak_ptm.stats.effective_occupancy,
+              soak_bkt.stats.effective_occupancy,
+              soak_ptm.stats.padded_occupancy,
+              soak_bkt.stats.padded_occupancy,
+              soak_ptm.stats.queue_wait_p99_s, soak_bkt.stats.queue_wait_p99_s,
               all_identical ? "true" : "false");
   return all_identical ? 0 : 1;
 }

@@ -1,0 +1,69 @@
+// Deterministic virtual-time replay of the dynamic batcher policy.
+//
+// StarServer's batcher runs on wall-clock time, so its formed batches (and
+// therefore its occupancy/waste accounting) vary run to run with scheduler
+// jitter. This simulator replays the SAME (max_batch, max_wait,
+// LengthBucketing) policy against an ArrivalTrace in virtual time with an
+// analytic service model, making batch formation a pure function of
+// (trace, lengths, config). That is what the 10^6-arrival soak sections of
+// bench_batched_encoder and tests/test_length_bucketing.cpp run: big enough
+// to exercise the steady state, deterministic enough for CI to pin
+// "bucketed waste < pad-to-max waste" as an exact, reproducible relation.
+//
+// Model: one engine, one batcher. A queue becomes dispatchable when it
+// holds its effective max_batch or when its head has aged max_wait ticks;
+// a dispatch occupies the engine for
+//     service = batch_overhead_ticks + ticks_per_token * B * P
+// ticks (B = formed size, P = padded length — padding is billed, which is
+// exactly the cost model that makes padding waste mean something). Arrivals
+// admit before any dispatch at the same instant, and among simultaneously
+// dispatchable queues the oldest head wins — both rules mirror the live
+// batcher and make ties deterministic.
+//
+// The result reuses ServerStats with TICKS in the seconds-named latency
+// fields (queue_wait_mean_s etc.); the token-occupancy block is denominated
+// in tokens as usual, so waste/occupancy compare directly with live runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/length_buckets.hpp"
+#include "serve/server_stats.hpp"
+#include "workload/arrival_trace.hpp"
+
+namespace star::serve {
+
+/// The batcher policy + analytic service model of one simulated server.
+struct BatchSimConfig {
+  std::size_t max_batch = 8;        ///< policy-wide dispatch-size cap
+  std::uint32_t max_wait_ticks = 4; ///< policy-wide head age-out window
+  LengthBucketing bucketing{};      ///< pad-to-max or length-bucketed
+  /// Fixed per-dispatch cost (ticks) — models kernel launch / programming.
+  double batch_overhead_ticks = 1.0;
+  /// Marginal cost (ticks) of one BILLED token-slot: a batch of B requests
+  /// padded to P tokens serves in overhead + ticks_per_token * B * P.
+  double ticks_per_token = 0.01;
+
+  void validate() const;
+};
+
+/// Outcome of one simulated trace. `stats` follows the live ServerStats
+/// semantics except that every *_s latency field is in TICKS.
+struct BatchSimResult {
+  ServerStats stats;
+  double makespan_ticks = 0.0;     ///< last batch completion time
+  double busy_ticks = 0.0;         ///< engine-occupied ticks (sum of services)
+  double utilization = 0.0;        ///< busy / makespan
+  std::uint64_t served = 0;        ///< requests dispatched (== trace size)
+};
+
+/// Replay `trace` (request i arrives at trace.arrival_ticks[i] with length
+/// seq_lens[i]) through the batcher policy in `cfg`. `seq_lens` must match
+/// the trace size with every length >= 1. Deterministic in all arguments.
+[[nodiscard]] BatchSimResult simulate_batching(
+    const workload::ArrivalTrace& trace,
+    const std::vector<std::int64_t>& seq_lens, const BatchSimConfig& cfg);
+
+}  // namespace star::serve

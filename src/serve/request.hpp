@@ -39,6 +39,18 @@ struct RequestStats {
   std::int64_t num_layers = 0;
   std::int64_t num_shards = 0;
 
+  // Length placement: every request kind has a sequence length (encoder:
+  // input rows, attention: q rows, analytic: the seq_len field), and the
+  // dynamic batcher buckets on it. `seq_len` is the request's EFFECTIVE
+  // slot width; `padded_len` is what its batch slot was billed at (the
+  // bucket edge, or the batch max under pad-to-max) — padding never
+  // executes, so padded_len - seq_len is pure accounting waste. `bucket`
+  // is the batcher queue the request coalesced in (0 in pad-to-max mode;
+  // the overflow queue is the last index in bucketed mode).
+  std::int64_t seq_len = 0;
+  std::int64_t padded_len = 0;
+  std::size_t bucket = 0;
+
   // Device-residency accounting of THIS request (encoder requests only):
   // modelled programming time charged for images that were not resident,
   // and the hit/miss attribution behind it. Which request of a batch pays

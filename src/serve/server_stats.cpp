@@ -29,10 +29,39 @@ double percentile(const std::vector<double>& samples, double p) {
   return samples[idx[rank]];
 }
 
-void StatsAccumulator::on_batch(std::size_t occupancy) {
+void StatsAccumulator::configure_buckets(std::vector<std::int64_t> edges) {
+  require(!edges.empty(), "configure_buckets: at least one queue required");
+  buckets_.clear();
+  buckets_.reserve(edges.size());
+  for (const std::int64_t e : edges) {
+    BucketAccum b;
+    b.edge = e;
+    buckets_.push_back(b);
+  }
+}
+
+StatsAccumulator::BucketAccum& StatsAccumulator::bucket_slot(std::size_t bucket) {
+  // Out-of-layout buckets (a caller that never configured) fold into the
+  // last slot rather than dropping the sample: conservation laws (sums
+  // across buckets == totals) must hold unconditionally.
+  return buckets_[std::min(bucket, buckets_.size() - 1)];
+}
+
+void StatsAccumulator::on_batch(std::size_t occupancy, std::size_t bucket,
+                                std::uint64_t effective_tokens,
+                                std::uint64_t padded_tokens,
+                                std::uint64_t capacity_tokens) {
   ++batches_;
   occupancy_sum_ += occupancy;
   occupancy_max_ = std::max(occupancy_max_, occupancy);
+  effective_tokens_ += effective_tokens;
+  padded_tokens_ += padded_tokens;
+  capacity_tokens_ += capacity_tokens;
+  BucketAccum& b = bucket_slot(bucket);
+  ++b.batches;
+  b.occupancy_sum += occupancy;
+  b.effective_tokens += effective_tokens;
+  b.padded_tokens += padded_tokens;
 }
 
 void StatsAccumulator::on_done(const RequestStats& rs, bool ok) {
@@ -46,6 +75,13 @@ void StatsAccumulator::on_done(const RequestStats& rs, bool ok) {
     num_shards_sum_ += static_cast<std::uint64_t>(rs.num_shards);
     num_shards_max_ = std::max(num_shards_max_, rs.num_shards);
   }
+  if (rs.seq_len >= 1) {
+    seq_len_sum_ += static_cast<std::uint64_t>(rs.seq_len);
+    seq_len_max_ = std::max(seq_len_max_, rs.seq_len);
+  }
+  BucketAccum& b = bucket_slot(rs.bucket);
+  ++b.requests;
+  b.queue_wait_sum_s += rs.queue_wait_s;
   lut_hits_ += rs.lut_hits;
   lut_misses_ += rs.lut_misses;
   weight_hits_ += rs.weight_hits;
@@ -89,6 +125,45 @@ ServerStats StatsAccumulator::snapshot() const {
                     : static_cast<double>(occupancy_sum_) /
                           static_cast<double>(batches_);
   s.batch_occupancy_max = occupancy_max_;
+  s.effective_tokens = effective_tokens_;
+  s.padded_tokens = padded_tokens_;
+  s.capacity_tokens = capacity_tokens_;
+  if (capacity_tokens_ > 0) {
+    s.padded_occupancy = static_cast<double>(padded_tokens_) /
+                         static_cast<double>(capacity_tokens_);
+    s.effective_occupancy = static_cast<double>(effective_tokens_) /
+                            static_cast<double>(capacity_tokens_);
+  }
+  if (padded_tokens_ > 0) {
+    s.padding_waste = 1.0 - static_cast<double>(effective_tokens_) /
+                                static_cast<double>(padded_tokens_);
+  }
+  if (done > 0) {
+    s.seq_len_mean = static_cast<double>(seq_len_sum_) / static_cast<double>(done);
+  }
+  s.seq_len_max = seq_len_max_;
+  s.per_bucket.reserve(buckets_.size());
+  for (const BucketAccum& b : buckets_) {
+    ServerStats::BucketStats out;
+    out.edge = b.edge;
+    out.requests = b.requests;
+    out.batches = b.batches;
+    out.queue_wait_mean_s =
+        b.requests == 0 ? 0.0
+                        : b.queue_wait_sum_s / static_cast<double>(b.requests);
+    out.batch_occupancy_mean =
+        b.batches == 0 ? 0.0
+                       : static_cast<double>(b.occupancy_sum) /
+                             static_cast<double>(b.batches);
+    out.effective_tokens = b.effective_tokens;
+    out.padded_tokens = b.padded_tokens;
+    out.padding_waste =
+        b.padded_tokens == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(b.effective_tokens) /
+                        static_cast<double>(b.padded_tokens);
+    s.per_bucket.push_back(out);
+  }
   if (shaped_requests_ > 0) {
     const auto shaped = static_cast<double>(shaped_requests_);
     s.num_layers_mean = static_cast<double>(num_layers_sum_) / shaped;

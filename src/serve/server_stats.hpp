@@ -35,9 +35,54 @@ struct ServerStats {
   double service_mean_s = 0.0;
   double service_p99_s = 0.0;
 
-  // Formed-batch occupancy (requests per dispatched batch).
+  // Formed-batch occupancy (requests per dispatched batch). This counts
+  // REQUEST SLOTS only and says nothing about padding; the token-level
+  // split below is the honest utilisation measure.
   double batch_occupancy_mean = 0.0;
   std::size_t batch_occupancy_max = 0;
+
+  // Token-level occupancy split. A batch of B requests padded to P tokens
+  // dispatches a B x P rectangle of token-slots against a bucket capacity
+  // of max_batch x P:
+  //   * padded_tokens    = sum over batches of B * P — every slot the
+  //     hardware was billed for, padding included.
+  //   * effective_tokens = sum over batches of the members' true seq_lens —
+  //     the slots that carried real work (padded slots never execute).
+  //   * padded_occupancy    = padded_tokens / capacity_tokens
+  //   * effective_occupancy = effective_tokens / capacity_tokens
+  //     (capacity_tokens = sum of max_batch * P), so effective <=
+  //     padded <= 1 always, with equality iff no padding at all.
+  //   * padding_waste = 1 - effective_tokens / padded_tokens — the padding
+  //     fraction of DISPATCHED work: exactly 0 on fixed-length traffic,
+  //     and the figure length-bucketed batching exists to shrink.
+  // Before this split, `batch_occupancy_mean` silently counted padded
+  // slots as useful work; these fields distinguish them.
+  std::uint64_t effective_tokens = 0;
+  std::uint64_t padded_tokens = 0;
+  std::uint64_t capacity_tokens = 0;
+  double padded_occupancy = 0.0;
+  double effective_occupancy = 0.0;
+  double padding_waste = 0.0;
+
+  // Request-length breakdown over completed + failed requests.
+  double seq_len_mean = 0.0;
+  std::int64_t seq_len_max = 0;
+
+  /// Per batcher-queue view of the same accounting (index order == queue
+  /// order: configured buckets first, then the overflow / pad-to-max
+  /// queue). `edge` is the bucket's padded length (0 = pads to its own
+  /// batch max). Sums across buckets equal the totals above.
+  struct BucketStats {
+    std::int64_t edge = 0;
+    std::uint64_t requests = 0;  ///< completed + failed from this queue
+    std::uint64_t batches = 0;
+    double queue_wait_mean_s = 0.0;
+    double batch_occupancy_mean = 0.0;
+    std::uint64_t effective_tokens = 0;
+    std::uint64_t padded_tokens = 0;
+    double padding_waste = 0.0;
+  };
+  std::vector<BucketStats> per_bucket;
 
   // Per-request shape breakdown over completed + failed requests that
   // carried the knob (num_layers >= 1, i.e. encoder requests) — makes
@@ -71,25 +116,55 @@ class StatsAccumulator {
   /// Latency samples kept for percentile estimation (16 B per slot).
   static constexpr std::size_t kMaxLatencySamples = 1 << 16;
 
+  /// Declare the batcher's queue layout (one edge per queue, 0 = pads to
+  /// batch max) so per-bucket accounting has stable slots. Optional: the
+  /// default layout is the single pad-to-max queue.
+  void configure_buckets(std::vector<std::int64_t> edges);
+
   void on_submitted() { ++submitted_; }
   void on_admitted() { ++admitted_; }
   void on_rejected() { ++rejected_; }
   void on_shed() { ++shed_; }
-  void on_batch(std::size_t occupancy);
+  /// Record one dispatched batch: `occupancy` request slots from queue
+  /// `bucket`, carrying `effective_tokens` real tokens inside a
+  /// `padded_tokens` rectangle out of `capacity_tokens` of bucket capacity.
+  void on_batch(std::size_t occupancy, std::size_t bucket,
+                std::uint64_t effective_tokens, std::uint64_t padded_tokens,
+                std::uint64_t capacity_tokens);
   /// Record one resolved request. Reads the phase timings, the request
-  /// shape (num_layers/num_shards, when >= 1) and the residency charges
-  /// from `rs`.
+  /// shape (seq_len/bucket always; num_layers/num_shards when >= 1) and
+  /// the residency charges from `rs`.
   void on_done(const RequestStats& rs, bool ok);
 
   [[nodiscard]] ServerStats snapshot() const;
 
  private:
+  /// Per-queue accounting slot (see ServerStats::BucketStats).
+  struct BucketAccum {
+    std::int64_t edge = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t occupancy_sum = 0;
+    double queue_wait_sum_s = 0.0;
+    std::uint64_t effective_tokens = 0;
+    std::uint64_t padded_tokens = 0;
+  };
+
+  BucketAccum& bucket_slot(std::size_t bucket);
+
   std::uint64_t submitted_ = 0, admitted_ = 0, rejected_ = 0, shed_ = 0;
   std::uint64_t completed_ = 0, failed_ = 0, batches_ = 0;
   std::uint64_t occupancy_sum_ = 0;
   std::size_t occupancy_max_ = 0;
   double queue_wait_sum_s_ = 0.0;
   double service_sum_s_ = 0.0;
+  // Token-level occupancy split (padded vs effective vs capacity).
+  std::uint64_t effective_tokens_ = 0;
+  std::uint64_t padded_tokens_ = 0;
+  std::uint64_t capacity_tokens_ = 0;
+  std::uint64_t seq_len_sum_ = 0;
+  std::int64_t seq_len_max_ = 0;
+  std::vector<BucketAccum> buckets_{BucketAccum{}};  ///< default: one pad-to-max queue
   // Shape breakdown (encoder requests: num_layers >= 1).
   std::uint64_t shaped_requests_ = 0;
   std::uint64_t num_layers_sum_ = 0;

@@ -16,17 +16,53 @@ StarServer::StarServer(const core::BatchEncoderSim& model,
   require(opts_.batcher.max_batch >= 1, "StarServer: max_batch must be >= 1");
   require(opts_.batcher.tick.count() >= 0,
           "StarServer: tick duration must be non-negative");
+  opts_.batcher.bucketing.validate();
+  const std::size_t num_queues = opts_.batcher.bucketing.num_queues();
+  queues_.resize(num_queues);
+  std::vector<std::int64_t> edges;
+  edges.reserve(num_queues);
+  for (std::size_t q = 0; q < num_queues; ++q) {
+    edges.push_back(opts_.batcher.bucketing.edge_of(q));
+  }
+  stats_.configure_buckets(std::move(edges));
   batcher_ = std::thread([this] { batcher_loop(); });
 }
 
 StarServer::~StarServer() { shutdown(); }
 
+std::size_t StarServer::pending_locked() const {
+  std::size_t total = 0;
+  for (const auto& q : queues_) {
+    total += q.size();
+  }
+  return total;
+}
+
+std::size_t StarServer::oldest_head_locked() const {
+  std::size_t best = queues_.size();
+  std::uint64_t best_id = 0;
+  for (std::size_t q = 0; q < queues_.size(); ++q) {
+    if (queues_[q].empty()) {
+      continue;
+    }
+    // Admission ids are strictly increasing, so the smallest head id is
+    // the globally oldest pending request.
+    if (best == queues_.size() || queues_[q].front().id < best_id) {
+      best = q;
+      best_id = queues_[q].front().id;
+    }
+  }
+  return best;
+}
+
 template <typename Response, typename ComputeFn>
-std::future<Response> StarServer::submit_impl(ComputeFn compute) {
+std::future<Response> StarServer::submit_impl(std::int64_t seq_len,
+                                              ComputeFn compute) {
   auto promise = std::make_shared<std::promise<Response>>();
   std::future<Response> fut = promise->get_future();
 
   Pending p;
+  p.seq_len = seq_len;
   p.enqueued = Clock::now();
   p.fail = [promise](std::exception_ptr e) { promise->set_exception(e); };
 
@@ -35,11 +71,11 @@ std::future<Response> StarServer::submit_impl(ComputeFn compute) {
   {
     std::unique_lock<std::mutex> lk(mu_);
     stats_.on_submitted();
-    if (!stopping_ && queue_.size() >= opts_.max_queue) {
+    if (!stopping_ && pending_locked() >= opts_.max_queue) {
       switch (opts_.admission) {
         case AdmissionPolicy::kBlock:
           space_cv_.wait(lk, [&] {
-            return stopping_ || queue_.size() < opts_.max_queue;
+            return stopping_ || pending_locked() < opts_.max_queue;
           });
           // Re-stamp: queue_wait measures admission -> dispatch (not the
           // submitter's blocked time) and the batcher's age-out window
@@ -53,12 +89,16 @@ std::future<Response> StarServer::submit_impl(ComputeFn compute) {
               "StarServer: admission queue full (max_queue=" +
               std::to_string(opts_.max_queue) + ", policy=reject)")));
           return fut;
-        case AdmissionPolicy::kShedOldest:
-          victim = std::move(queue_.front());
-          queue_.pop_front();
+        case AdmissionPolicy::kShedOldest: {
+          // Shed the GLOBALLY oldest pending request, whatever bucket it
+          // waits in — admission control is a server-wide property.
+          const std::size_t victim_q = oldest_head_locked();
+          victim = std::move(queues_[victim_q].front());
+          queues_[victim_q].pop_front();
           stats_.on_shed();
           have_victim = true;
           break;
+        }
       }
     }
     if (stopping_) {
@@ -77,8 +117,8 @@ std::future<Response> StarServer::submit_impl(ComputeFn compute) {
     p.id = next_request_id_++;
     const std::uint64_t id = p.id;
     const auto enqueued = p.enqueued;
-    p.run = [this, promise, compute = std::move(compute), enqueued,
-             id](const BatchContext& ctx) {
+    p.run = [this, promise, compute = std::move(compute), enqueued, id,
+             seq_len](const BatchContext& ctx) {
       const double queue_wait =
           std::chrono::duration<double>(ctx.dispatched - enqueued).count();
       const auto t0 = Clock::now();
@@ -93,6 +133,9 @@ std::future<Response> StarServer::submit_impl(ComputeFn compute) {
         resp.stats.batch_size = ctx.batch_size;
         resp.stats.queue_wait_s = queue_wait;
         resp.stats.service_s = service;
+        resp.stats.seq_len = seq_len;
+        resp.stats.padded_len = ctx.padded_len;
+        resp.stats.bucket = ctx.bucket;
         record_done(resp.stats, /*ok=*/true);
         promise->set_value(std::move(resp));
       } catch (...) {
@@ -104,12 +147,15 @@ std::future<Response> StarServer::submit_impl(ComputeFn compute) {
         failed.batch_size = ctx.batch_size;
         failed.queue_wait_s = queue_wait;
         failed.service_s = service;
+        failed.seq_len = seq_len;
+        failed.padded_len = ctx.padded_len;
+        failed.bucket = ctx.bucket;
         record_done(failed, /*ok=*/false);
         promise->set_exception(std::current_exception());
       }
     };
     stats_.on_admitted();
-    queue_.push_back(std::move(p));
+    queues_[opts_.batcher.bucketing.bucket_of(seq_len)].push_back(std::move(p));
     batcher_cv_.notify_one();
   }
   if (have_victim) {
@@ -120,7 +166,8 @@ std::future<Response> StarServer::submit_impl(ComputeFn compute) {
 }
 
 std::future<EncoderResponse> StarServer::submit(EncoderRequest req) {
-  return submit_impl<EncoderResponse>([this, req = std::move(req)] {
+  const auto seq_len = static_cast<std::int64_t>(req.input.rows());
+  return submit_impl<EncoderResponse>(seq_len, [this, req = std::move(req)] {
     EncoderResponse resp;
     core::ResidencyCharge charge;
     resp.output = model_.run_encoder_one(req.input,
@@ -139,7 +186,8 @@ std::future<EncoderResponse> StarServer::submit(EncoderRequest req) {
 }
 
 std::future<AttentionResponse> StarServer::submit(AttentionRequest req) {
-  return submit_impl<AttentionResponse>([this, req = std::move(req)] {
+  const auto seq_len = static_cast<std::int64_t>(req.qkv.q.rows());
+  return submit_impl<AttentionResponse>(seq_len, [this, req = std::move(req)] {
     AttentionResponse resp;
     resp.result = model_.run_attention_one(
         req.qkv, workload::sequence_seed(req.run_seed, 0));
@@ -148,7 +196,7 @@ std::future<AttentionResponse> StarServer::submit(AttentionRequest req) {
 }
 
 std::future<AnalyticResponse> StarServer::submit(AnalyticRequest req) {
-  return submit_impl<AnalyticResponse>([this, req] {
+  return submit_impl<AnalyticResponse>(req.seq_len, [this, req] {
     AnalyticResponse resp;
     resp.result = model_.run_analytic_one(req.seq_len);
     return resp;
@@ -156,51 +204,120 @@ std::future<AnalyticResponse> StarServer::submit(AnalyticRequest req) {
 }
 
 void StarServer::batcher_loop() {
+  const LengthBucketing& bucketing = opts_.batcher.bucketing;
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
-    batcher_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) {
+    batcher_cv_.wait(lk, [&] { return stopping_ || pending_locked() > 0; });
+    if (pending_locked() == 0) {
       if (stopping_) {
         return;
       }
       continue;
     }
-    // Coalesce: hold for a full batch until the head ages out (or
-    // shutdown). Under kBlock a full admission queue also dispatches —
-    // submitters are stalled and the size trigger could never fire when
-    // max_batch > max_queue. Under kReject/kShedOldest a full queue is the
-    // admission policy's domain, so the (max_batch, max_wait) policy is
-    // honoured strictly. The deadline is re-derived from the CURRENT head
-    // each pass: kShedOldest may evict the head mid-wait, and the
+    // Coalesce per queue: a queue is dispatchable once it holds its
+    // effective max_batch, once its head ages out past its effective
+    // max_wait window, or on shutdown. Under kBlock a full ADMISSION
+    // queue (total across buckets) also dispatches — submitters are
+    // stalled and no size trigger may ever fire when max_batch >
+    // max_queue. Under kReject/kShedOldest a full queue is the admission
+    // policy's domain, so the per-queue (max_batch, max_wait) policy is
+    // honoured strictly. Deadlines are re-derived from the CURRENT heads
+    // each pass: kShedOldest may evict a head mid-wait, and the
     // replacement is owed its own full age-out window.
-    const auto batch_ready = [&] {
-      return stopping_ || queue_.size() >= opts_.batcher.max_batch ||
-             (opts_.admission == AdmissionPolicy::kBlock &&
-              queue_.size() >= opts_.max_queue);
+    const auto queue_ready = [&](std::size_t q) {
+      return !queues_[q].empty() &&
+             (stopping_ ||
+              queues_[q].size() >=
+                  bucketing.max_batch_for(q, opts_.batcher.max_batch) ||
+              (opts_.admission == AdmissionPolicy::kBlock &&
+               pending_locked() >= opts_.max_queue));
     };
-    const auto max_wait = opts_.batcher.tick * opts_.batcher.max_wait_ticks;
-    while (!queue_.empty() && !batch_ready()) {
-      const auto deadline = queue_.front().enqueued + max_wait;
-      if (batcher_cv_.wait_until(lk, deadline, batch_ready)) {
+    const auto queue_deadline = [&](std::size_t q) {
+      return queues_[q].front().enqueued +
+             opts_.batcher.tick *
+                 bucketing.max_wait_for(q, opts_.batcher.max_wait_ticks);
+    };
+    const auto any_ready = [&] {
+      if (stopping_) {
+        return true;
+      }
+      for (std::size_t q = 0; q < queues_.size(); ++q) {
+        if (queue_ready(q)) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    // Pick the dispatch queue: any ready queue, else any aged-out head,
+    // else sleep until the earliest head deadline. Among several
+    // dispatchable queues the one whose head waited longest wins (FIFO
+    // fairness across buckets).
+    std::size_t dispatch_q = queues_.size();
+    while (pending_locked() > 0 && dispatch_q == queues_.size()) {
+      const auto now = Clock::now();
+      std::size_t best = queues_.size();
+      std::uint64_t best_id = 0;
+      Clock::time_point earliest_deadline{};
+      bool have_deadline = false;
+      for (std::size_t q = 0; q < queues_.size(); ++q) {
+        if (queues_[q].empty()) {
+          continue;
+        }
+        const auto deadline = queue_deadline(q);
+        if (queue_ready(q) || now >= deadline) {
+          if (best == queues_.size() || queues_[q].front().id < best_id) {
+            best = q;
+            best_id = queues_[q].front().id;
+          }
+        } else if (!have_deadline || deadline < earliest_deadline) {
+          earliest_deadline = deadline;
+          have_deadline = true;
+        }
+      }
+      if (best != queues_.size()) {
+        dispatch_q = best;
         break;
       }
-      if (!queue_.empty() && Clock::now() >= queue_.front().enqueued + max_wait) {
-        break;  // the current head really has aged out
+      if (!have_deadline) {
+        break;  // queues drained while scanning (shed) — outer loop re-waits
       }
+      batcher_cv_.wait_until(lk, earliest_deadline, any_ready);
+      // Loop re-scans: either a queue became ready, a head aged out, or a
+      // newer-deadline head replaced a shed one.
     }
-    if (queue_.empty()) {
+    if (dispatch_q == queues_.size()) {
       continue;
     }
 
+    std::deque<Pending>& queue = queues_[dispatch_q];
     std::vector<Pending> formed;
-    const std::size_t take = std::min(queue_.size(), opts_.batcher.max_batch);
+    const std::size_t take = std::min(
+        queue.size(), bucketing.max_batch_for(dispatch_q, opts_.batcher.max_batch));
     formed.reserve(take);
+    std::int64_t batch_max_len = 0;
+    std::int64_t effective = 0;
     for (std::size_t i = 0; i < take; ++i) {
-      formed.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+      batch_max_len = std::max(batch_max_len, queue.front().seq_len);
+      effective += queue.front().seq_len;
+      formed.push_back(std::move(queue.front()));
+      queue.pop_front();
     }
-    const BatchContext ctx{next_batch_id_++, formed.size(), Clock::now()};
-    stats_.on_batch(formed.size());
+    const std::int64_t padded_len =
+        bucketing.padded_len(dispatch_q, batch_max_len);
+    const BatchContext ctx{next_batch_id_++, formed.size(), Clock::now(),
+                           padded_len, dispatch_q};
+    // Token accounting: `formed.size() * padded_len` billed slots holding
+    // `effective` real tokens, out of a bucket capacity of max_batch rows
+    // at the same padded width. Padded slots never execute — they exist
+    // only in this accounting.
+    stats_.on_batch(
+        formed.size(), dispatch_q, static_cast<std::uint64_t>(effective),
+        static_cast<std::uint64_t>(formed.size()) *
+            static_cast<std::uint64_t>(padded_len),
+        static_cast<std::uint64_t>(
+            bucketing.max_batch_for(dispatch_q, opts_.batcher.max_batch)) *
+            static_cast<std::uint64_t>(padded_len));
     batch_in_flight_ = true;
     space_cv_.notify_all();
     lk.unlock();
@@ -209,7 +326,7 @@ void StarServer::batcher_loop() {
     sched_.run(formed.size(), [&](std::size_t i) { formed[i].run(ctx); });
     lk.lock();
     batch_in_flight_ = false;
-    if (queue_.empty()) {
+    if (pending_locked() == 0) {
       idle_cv_.notify_all();
     }
   }
@@ -222,7 +339,7 @@ void StarServer::record_done(const RequestStats& rs, bool ok) {
 
 void StarServer::drain() {
   std::unique_lock<std::mutex> lk(mu_);
-  idle_cv_.wait(lk, [&] { return queue_.empty() && !batch_in_flight_; });
+  idle_cv_.wait(lk, [&] { return pending_locked() == 0 && !batch_in_flight_; });
 }
 
 void StarServer::shutdown() {
@@ -255,7 +372,7 @@ ServerStats StarServer::stats() const {
 
 std::size_t StarServer::pending() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return queue_.size();
+  return pending_locked();
 }
 
 }  // namespace star::serve

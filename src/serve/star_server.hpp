@@ -9,7 +9,12 @@
 //   2. Dynamic batcher: a dedicated thread that coalesces pending requests
 //      into a batch once `max_batch` are waiting, or earlier once the
 //      oldest pending request has aged `max_wait_ticks` ticks — the
-//      classic (max batch, max wait) serving policy.
+//      classic (max batch, max wait) serving policy. With length-bucketed
+//      batching enabled (BatcherPolicy::bucketing) requests are first
+//      partitioned by sequence length into per-bucket queues, each with
+//      its own effective (max_batch, max_wait) knobs; a formed batch never
+//      mixes buckets and is billed at the bucket's padded length instead
+//      of the batch max (see serve/length_buckets.hpp).
 //   3. Dispatch: each formed batch runs on the caller-supplied
 //      sim::BatchScheduler worker pool; request i of the batch executes
 //      core::BatchEncoderSim::run_*_one with its own derived seed.
@@ -40,6 +45,7 @@
 #include <thread>
 
 #include "core/batch_encoder.hpp"
+#include "serve/length_buckets.hpp"
 #include "serve/request.hpp"
 #include "serve/server_stats.hpp"
 #include "sim/batch_scheduler.hpp"
@@ -64,6 +70,12 @@ struct BatcherPolicy {
   std::uint32_t max_wait_ticks = 4;
   /// Duration of one tick.
   std::chrono::microseconds tick{100};
+  /// The length dimension: pad-to-max (default, one queue) or
+  /// length-bucketed (one queue per bucket + overflow, each with its own
+  /// effective (max_batch, max_wait_ticks); batches never mix buckets).
+  /// Bucketing is scheduling/accounting-only — payloads are bit-identical
+  /// across every mode and bucket-edge choice.
+  LengthBucketing bucketing{};
 };
 
 struct ServerOptions {
@@ -113,21 +125,28 @@ class StarServer {
     std::uint64_t batch_id = 0;
     std::size_t batch_size = 0;
     Clock::time_point dispatched{};
+    std::int64_t padded_len = 0;  ///< billed slot width of this batch
+    std::size_t bucket = 0;       ///< queue the batch was formed from
   };
 
   /// A queued request, type-erased: `run` computes and fulfils the future,
   /// `fail` fulfils it with an exception without running (shed/shutdown).
   struct Pending {
     std::uint64_t id = 0;
+    std::int64_t seq_len = 0;
     Clock::time_point enqueued{};
     std::function<void(const BatchContext&)> run;
     std::function<void(std::exception_ptr)> fail;
   };
 
   template <typename Response, typename ComputeFn>
-  std::future<Response> submit_impl(ComputeFn compute);
+  std::future<Response> submit_impl(std::int64_t seq_len, ComputeFn compute);
   void batcher_loop();
   void record_done(const RequestStats& rs, bool ok);
+  [[nodiscard]] std::size_t pending_locked() const;
+  /// The queue whose head has been waiting longest (by admission id);
+  /// queues_.size() when everything is empty.
+  [[nodiscard]] std::size_t oldest_head_locked() const;
 
   const core::BatchEncoderSim& model_;
   sim::BatchScheduler& sched_;
@@ -137,7 +156,10 @@ class StarServer {
   std::condition_variable batcher_cv_;  ///< work arrived / shutdown
   std::condition_variable space_cv_;    ///< queue space freed (kBlock)
   std::condition_variable idle_cv_;     ///< fully drained (drain())
-  std::deque<Pending> queue_;
+  /// One FIFO per batcher queue (pad-to-max: exactly one; bucketed: one
+  /// per bucket + the overflow queue). The admission bound `max_queue`
+  /// applies to the TOTAL across queues.
+  std::vector<std::deque<Pending>> queues_;
   bool stopping_ = false;
   bool batch_in_flight_ = false;
   std::uint64_t next_request_id_ = 0;

@@ -33,6 +33,84 @@ ArrivalTrace ArrivalTrace::from_gaps(const std::vector<double>& gaps) {
   return trace;
 }
 
+void BurstShape::validate() const {
+  require(mean_inter_arrival_ticks > 0.0 && std::isfinite(mean_inter_arrival_ticks),
+          "BurstShape: mean inter-arrival time must be positive");
+  require(period_ticks > 0.0 && std::isfinite(period_ticks),
+          "BurstShape: period must be positive");
+  require(duty > 0.0 && duty < 1.0, "BurstShape: duty must be in (0, 1)");
+  require(intensity >= 1.0 && std::isfinite(intensity),
+          "BurstShape: intensity must be >= 1");
+  // The off-window rate (1 - duty*intensity)/(1 - duty) * r must stay
+  // non-negative, i.e. the burst cannot carry more than all the traffic.
+  require(duty * intensity <= 1.0,
+          "BurstShape: duty * intensity must be <= 1 (off-window rate >= 0)");
+}
+
+double BurstShape::rate_at(double t) const {
+  const double r = 1.0 / mean_inter_arrival_ticks;
+  const double phase = std::fmod(t, period_ticks);
+  if (phase < duty * period_ticks) {
+    return intensity * r;
+  }
+  return r * (1.0 - duty * intensity) / (1.0 - duty);
+}
+
+void DiurnalShape::validate() const {
+  require(mean_inter_arrival_ticks > 0.0 && std::isfinite(mean_inter_arrival_ticks),
+          "DiurnalShape: mean inter-arrival time must be positive");
+  require(period_ticks > 0.0 && std::isfinite(period_ticks),
+          "DiurnalShape: period must be positive");
+  require(amplitude >= 0.0 && amplitude < 1.0,
+          "DiurnalShape: amplitude must be in [0, 1)");
+}
+
+double DiurnalShape::rate_at(double t) const {
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  const double r = 1.0 / mean_inter_arrival_ticks;
+  return r * (1.0 + amplitude * std::sin(kTwoPi * t / period_ticks));
+}
+
+namespace {
+
+/// Lewis-Shedler thinning: candidate arrivals at the constant peak rate,
+/// kept with probability rate(t)/peak — an exact draw from the
+/// inhomogeneous process, deterministic in (n, rate fn, seed).
+template <typename RateFn>
+ArrivalTrace thin_to_trace(std::size_t n, double peak_rate, RateFn&& rate_at,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> gaps;
+  gaps.reserve(n);
+  double t = 0.0;
+  double last_kept = 0.0;
+  while (gaps.size() < n) {
+    t += -std::log(1.0 - rng.uniform()) / peak_rate;
+    if (rng.uniform() * peak_rate < rate_at(t)) {
+      gaps.push_back(t - last_kept);
+      last_kept = t;
+    }
+  }
+  return ArrivalTrace::from_gaps(gaps);
+}
+
+}  // namespace
+
+ArrivalTrace ArrivalTrace::generate_burst(std::size_t n, const BurstShape& shape,
+                                          std::uint64_t seed) {
+  shape.validate();
+  return thin_to_trace(
+      n, shape.peak_rate(), [&](double t) { return shape.rate_at(t); }, seed);
+}
+
+ArrivalTrace ArrivalTrace::generate_diurnal(std::size_t n,
+                                            const DiurnalShape& shape,
+                                            std::uint64_t seed) {
+  shape.validate();
+  return thin_to_trace(
+      n, shape.peak_rate(), [&](double t) { return shape.rate_at(t); }, seed);
+}
+
 ArrivalTrace ArrivalTrace::generate(std::size_t n, ArrivalProcess process,
                                     double mean_inter_arrival_ticks,
                                     std::uint64_t seed) {

@@ -19,6 +19,37 @@ enum class ArrivalProcess {
   kUniform,  ///< inter-arrival ~ U[0, 2*mean): same rate, bounded burstiness
 };
 
+/// Square-wave rate modulation: within the first `duty` fraction of every
+/// `period_ticks` window the arrival rate is `intensity` times the overall
+/// rate; outside it the rate drops so the OVERALL mean inter-arrival time
+/// stays `mean_inter_arrival_ticks` (flash-crowd / retry-storm traffic).
+struct BurstShape {
+  double mean_inter_arrival_ticks = 1.0;
+  double period_ticks = 256.0;
+  double duty = 0.25;      ///< in-burst fraction of the period, in (0, 1)
+  double intensity = 4.0;  ///< in-burst rate multiplier, >= 1, duty*intensity <= 1
+
+  void validate() const;
+  /// Instantaneous rate at absolute time `t` (arrivals per tick).
+  [[nodiscard]] double rate_at(double t) const;
+  [[nodiscard]] double peak_rate() const { return intensity / mean_inter_arrival_ticks; }
+};
+
+/// Sinusoidal rate modulation: rate(t) = r * (1 + amplitude*sin(2*pi*t/P))
+/// with r = 1/mean_inter_arrival_ticks — the day/night swing of user-facing
+/// traffic, compressed to simulation time.
+struct DiurnalShape {
+  double mean_inter_arrival_ticks = 1.0;
+  double period_ticks = 1024.0;
+  double amplitude = 0.8;  ///< peak-to-mean swing, in [0, 1)
+
+  void validate() const;
+  [[nodiscard]] double rate_at(double t) const;
+  [[nodiscard]] double peak_rate() const {
+    return (1.0 + amplitude) / mean_inter_arrival_ticks;
+  }
+};
+
 struct ArrivalTrace {
   /// Strictly increasing absolute arrival times; arrivals[0] is the first
   /// request's offset from the trace start. Strictness is an invariant of
@@ -46,6 +77,18 @@ struct ArrivalTrace {
   static ArrivalTrace generate(std::size_t n, ArrivalProcess process,
                                double mean_inter_arrival_ticks,
                                std::uint64_t seed);
+
+  /// `n` arrivals of an inhomogeneous Poisson process with the square-wave
+  /// burst rate profile (Lewis-Shedler thinning against the peak rate, so
+  /// the process is exact, not a per-gap approximation). Deterministic in
+  /// (n, shape, seed); routed through from_gaps like every generator.
+  static ArrivalTrace generate_burst(std::size_t n, const BurstShape& shape,
+                                     std::uint64_t seed);
+
+  /// `n` arrivals of an inhomogeneous Poisson process with the sinusoidal
+  /// diurnal rate profile; same thinning construction as generate_burst.
+  static ArrivalTrace generate_diurnal(std::size_t n, const DiurnalShape& shape,
+                                       std::uint64_t seed);
 
   /// Accumulates non-negative, finite `gaps` into absolute ticks, nudging
   /// any tick that would not strictly exceed its predecessor up to the

@@ -35,6 +35,108 @@ const fxp::QFormat& format_for(Dataset d, const fxp::QFormat& default_format) {
   return default_format;
 }
 
+void LengthHistogram::validate() const {
+  require(!bins.empty(), "LengthHistogram: at least one bin required");
+  std::int64_t prev = 1;
+  for (const Bin& b : bins) {
+    require(b.len >= 2, "LengthHistogram: bin lengths must be >= 2");
+    require(b.len > prev, "LengthHistogram: bin lengths must be strictly increasing");
+    require(b.weight > 0.0 && std::isfinite(b.weight),
+            "LengthHistogram: bin weights must be positive and finite");
+    prev = b.len;
+  }
+}
+
+std::int64_t LengthHistogram::min_len() const {
+  validate();
+  return bins.front().len;
+}
+
+std::int64_t LengthHistogram::max_len() const {
+  validate();
+  return bins.back().len;
+}
+
+double LengthHistogram::mean_len() const {
+  validate();
+  double wsum = 0.0, lsum = 0.0;
+  for (const Bin& b : bins) {
+    wsum += b.weight;
+    lsum += b.weight * static_cast<double>(b.len);
+  }
+  return lsum / wsum;
+}
+
+std::int64_t LengthHistogram::sample(Rng& rng) const {
+  validate();
+  double wsum = 0.0;
+  for (const Bin& b : bins) {
+    wsum += b.weight;
+  }
+  // Exactly one uniform() per draw regardless of which bin is hit, so a
+  // sampled stream stays positionally reproducible across histograms of
+  // different bin counts.
+  double u = rng.uniform() * wsum;
+  for (const Bin& b : bins) {
+    u -= b.weight;
+    if (u < 0.0) {
+      return b.len;
+    }
+  }
+  return bins.back().len;  // u == wsum exactly (rounding); top bin
+}
+
+LengthHistogram LengthHistogram::fixed(std::int64_t len) {
+  LengthHistogram h;
+  h.bins.push_back({len, 1.0});
+  h.validate();
+  return h;
+}
+
+std::vector<std::int64_t> sample_lengths(const LengthHistogram& hist,
+                                         std::size_t n, std::uint64_t seed) {
+  hist.validate();
+  Rng rng(seed);
+  std::vector<std::int64_t> lens;
+  lens.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lens.push_back(hist.sample(rng));
+  }
+  return lens;
+}
+
+LengthHistogram length_histogram_for(Dataset d) {
+  switch (d) {
+    case Dataset::kCnews: return DatasetProfile::cnews().length_hist;
+    case Dataset::kMrpc: return DatasetProfile::mrpc().length_hist;
+    case Dataset::kCola: return DatasetProfile::cola().length_hist;
+    case Dataset::kDefault: break;
+  }
+  // Mixed front-door traffic: the three datasets' histograms blended with
+  // equal traffic share (bins merge by length).
+  LengthHistogram mixed;
+  for (const auto& p : DatasetProfile::all()) {
+    double wsum = 0.0;
+    for (const auto& b : p.length_hist.bins) {
+      wsum += b.weight;
+    }
+    for (const auto& b : p.length_hist.bins) {
+      const double w = b.weight / wsum;
+      auto it = std::find_if(mixed.bins.begin(), mixed.bins.end(),
+                             [&](const LengthHistogram::Bin& m) {
+                               return m.len >= b.len;
+                             });
+      if (it != mixed.bins.end() && it->len == b.len) {
+        it->weight += w;
+      } else {
+        mixed.bins.insert(it, {b.len, w});
+      }
+    }
+  }
+  mixed.validate();
+  return mixed;
+}
+
 std::vector<double> DatasetProfile::sample_row(std::size_t len, Rng& rng) const {
   require(len >= 2, "DatasetProfile::sample_row: row length must be >= 2");
   std::vector<double> row(len);
@@ -76,6 +178,10 @@ DatasetProfile DatasetProfile::cnews() {
   p.gap_sigma = 0.7;
   p.expected_int_bits = 6;
   p.expected_frac_bits = 2;
+  // Document-level news classification: long inputs, most mass in the
+  // 256-384 band the paper's L=384 headline runs at.
+  p.length_hist.bins = {{64, 0.05}, {128, 0.20}, {192, 0.15}, {256, 0.35},
+                        {384, 0.25}};
   return p;
 }
 
@@ -94,6 +200,9 @@ DatasetProfile DatasetProfile::mrpc() {
   p.gap_sigma = 0.025;
   p.expected_int_bits = 6;
   p.expected_frac_bits = 3;
+  // Sentence pairs: two clauses end to end, mid-length with a thin tail.
+  p.length_hist.bins = {{16, 0.10}, {32, 0.35}, {48, 0.30}, {64, 0.18},
+                        {96, 0.07}};
   return p;
 }
 
@@ -108,6 +217,9 @@ DatasetProfile DatasetProfile::cola() {
   p.gap_sigma = 0.6;
   p.expected_int_bits = 5;
   p.expected_frac_bits = 2;
+  // Single-sentence acceptability judgements: short inputs dominate.
+  p.length_hist.bins = {{8, 0.30}, {12, 0.30}, {16, 0.22}, {24, 0.12},
+                        {32, 0.06}};
   return p;
 }
 

@@ -15,6 +15,7 @@
 //     -> 3 bits; CNEWS/CoLA are peaked -> 2 bits).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -48,8 +49,58 @@ enum class Dataset : std::uint8_t {
 [[nodiscard]] const fxp::QFormat& format_for(Dataset d,
                                              const fxp::QFormat& default_format);
 
+/// A discrete request-length distribution: the probability that a request
+/// of this dataset arrives with `len` tokens. This is the serving-side
+/// length axis: the open-loop drivers sample per-request sequence lengths
+/// from it, and the length-bucketed dynamic batcher's bucket edges are
+/// chosen against it. Unlike Dataset (accounting-only), length DOES
+/// determine a request's payload — the input tensor itself is
+/// len x d_model — but the batcher's treatment of length (bucketing,
+/// padding) is scheduling/accounting-only; see serve/length_buckets.hpp.
+struct LengthHistogram {
+  struct Bin {
+    std::int64_t len = 0;  ///< sequence length of this bin (tokens)
+    double weight = 0.0;   ///< relative probability mass (normalised on use)
+  };
+  /// Strictly increasing lengths (>= 2), positive finite weights.
+  std::vector<Bin> bins;
+
+  /// Throws InvalidArgument unless the invariants above hold and the
+  /// histogram is non-empty.
+  void validate() const;
+
+  [[nodiscard]] std::int64_t min_len() const;
+  [[nodiscard]] std::int64_t max_len() const;
+  /// Weight-averaged sequence length.
+  [[nodiscard]] double mean_len() const;
+  /// One weighted draw (exactly one rng.uniform() consumed per call, so a
+  /// sampled length stream is reproducible position by position).
+  [[nodiscard]] std::int64_t sample(Rng& rng) const;
+
+  /// Degenerate single-bin histogram: every request has `len` tokens.
+  static LengthHistogram fixed(std::int64_t len);
+};
+
+/// `n` per-request lengths drawn from `hist` by one Rng(seed) stream.
+/// Deterministic in (hist, n, seed); lengths[i] depends only on the draws
+/// before it, never on how the lengths are later consumed.
+std::vector<std::int64_t> sample_lengths(const LengthHistogram& hist,
+                                         std::size_t n, std::uint64_t seed);
+
+/// The length histogram of a serving-layer dataset name: the matching
+/// profile's `length_hist` for CNEWS/MRPC/CoLA; kDefault blends the three
+/// (the mixed-traffic shape an undifferentiated front door sees).
+[[nodiscard]] LengthHistogram length_histogram_for(Dataset d);
+
 struct DatasetProfile {
   std::string name;
+
+  /// Request lengths this dataset's traffic arrives with. Modelled, not
+  /// measured (the corpora themselves are unavailable — see the file
+  /// comment): CNEWS is document-level news classification (long, skewed
+  /// toward the 256-384 band), MRPC is sentence *pairs* (mid lengths),
+  /// CoLA is single short sentences.
+  LengthHistogram length_hist;
 
   // Background scores: x_max - x_bg ~ |N(bg_depth, bg_sigma)|, clamped to
   // [min_spread_floor, max_spread].

@@ -3,6 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/encoder_model.hpp"
 #include "core/softmax_engine.hpp"
@@ -152,6 +157,96 @@ TEST(FaultInjection, ConfigValidatesMissProb) {
   EXPECT_THROW(cfg.validate(), InvalidArgument);
   cfg.cam_miss_prob = -0.1;
   EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+// ---------- golden-file regression: per-length encoder costs ----------
+
+struct LengthCostRow {
+  std::int64_t seq_len = 0;
+  double latency_us = 0.0, attention_latency_us = 0.0, ffn_latency_us = 0.0;
+  double energy_uj = 0.0, attention_energy_uj = 0.0, ffn_energy_uj = 0.0;
+  double vector_energy_nj = 0.0, attention_time_share = 0.0, power_mw = 0.0;
+};
+
+/// Parse tests/golden/length_costs.csv. Doubles were recorded with %.17g,
+/// so strtod round-trips the exact bits the analytic model produced — the
+/// comparisons below are bitwise, not approximate.
+std::vector<LengthCostRow> load_length_costs() {
+  const std::string path =
+      std::string(STAR_TEST_GOLDEN_DIR) + "/length_costs.csv";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file: " << path;
+  std::vector<LengthCostRow> rows;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::stringstream ss(line);
+    std::string cell;
+    std::vector<std::string> cells;
+    while (std::getline(ss, cell, ',')) {
+      cells.push_back(cell);
+    }
+    EXPECT_EQ(cells.size(), 10u) << "malformed golden row: " << line;
+    if (cells.size() != 10u) {
+      continue;
+    }
+    LengthCostRow r;
+    r.seq_len = std::atoll(cells[0].c_str());
+    r.latency_us = std::strtod(cells[1].c_str(), nullptr);
+    r.attention_latency_us = std::strtod(cells[2].c_str(), nullptr);
+    r.ffn_latency_us = std::strtod(cells[3].c_str(), nullptr);
+    r.energy_uj = std::strtod(cells[4].c_str(), nullptr);
+    r.attention_energy_uj = std::strtod(cells[5].c_str(), nullptr);
+    r.ffn_energy_uj = std::strtod(cells[6].c_str(), nullptr);
+    r.vector_energy_nj = std::strtod(cells[7].c_str(), nullptr);
+    r.attention_time_share = std::strtod(cells[8].c_str(), nullptr);
+    r.power_mw = std::strtod(cells[9].c_str(), nullptr);
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+TEST(EncoderModelGolden, PerLengthCostsExactlyMatchGolden) {
+  // The serving layer prices requests by sequence length (length-bucketed
+  // batching, padding-waste accounting), so the per-length analytic cost
+  // curve is load-bearing API: any drift at the lengths the buckets quote
+  // must be a deliberate, golden-updating change.
+  const EncoderModel model(nine_bit_cfg());
+  const auto rows = load_length_costs();
+  ASSERT_EQ(rows.size(), 5u);
+  const std::int64_t expected_lens[] = {32, 64, 128, 256, 384};
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    ASSERT_EQ(r.seq_len, expected_lens[i]);
+    const auto res = model.run_encoder_layer(kBert, r.seq_len);
+    EXPECT_EQ(res.latency.as_us(), r.latency_us) << "L=" << r.seq_len;
+    EXPECT_EQ(res.attention.latency.as_us(), r.attention_latency_us)
+        << "L=" << r.seq_len;
+    EXPECT_EQ(res.ffn_latency.as_us(), r.ffn_latency_us) << "L=" << r.seq_len;
+    EXPECT_EQ(res.energy.as_uJ(), r.energy_uj) << "L=" << r.seq_len;
+    EXPECT_EQ(res.attention.energy.as_uJ(), r.attention_energy_uj)
+        << "L=" << r.seq_len;
+    EXPECT_EQ(res.ffn_energy.as_uJ(), r.ffn_energy_uj) << "L=" << r.seq_len;
+    EXPECT_EQ(res.vector_unit_energy.as_nJ(), r.vector_energy_nj)
+        << "L=" << r.seq_len;
+    EXPECT_EQ(res.attention_time_share, r.attention_time_share)
+        << "L=" << r.seq_len;
+    EXPECT_EQ(res.power.as_mW(), r.power_mw) << "L=" << r.seq_len;
+  }
+}
+
+TEST(EncoderModelGolden, GoldenLengthsBracketTheBucketEdges) {
+  // Costs must be strictly monotone in length (longer requests are never
+  // cheaper) — the property that makes pad-to-bucket-edge billing an upper
+  // bound on true cost.
+  const auto rows = load_length_costs();
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].latency_us, rows[i - 1].latency_us);
+    EXPECT_GT(rows[i].energy_uj, rows[i - 1].energy_uj);
+  }
 }
 
 }  // namespace

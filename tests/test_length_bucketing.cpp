@@ -1,0 +1,766 @@
+// Length-bucketed dynamic batching: the padding-equivalence and soak suite.
+//
+// The load-bearing property is that bucketing is SCHEDULING/ACCOUNTING-ONLY:
+// a response payload is bit-identical to a solo closed-batch run of the
+// same (input, run_seed) under EVERY batching policy x bucket-edge choice x
+// thread count, with or without fault-injection streams riding along —
+// padded slots never execute. On top of that: the conservation laws (every
+// admitted request is served exactly once; per-bucket sums equal totals),
+// the degenerate-bucket equivalences (empty bucket list == pad-to-max
+// exactly), deterministic token accounting under full-batch formation, the
+// virtual-time batching simulator (serve/batch_sim.hpp), and a bounded
+// multi-threaded soak that the CI TSan job runs race-detection over.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/batch_encoder.hpp"
+#include "serve/batch_sim.hpp"
+#include "serve/length_buckets.hpp"
+#include "serve/request.hpp"
+#include "serve/server_stats.hpp"
+#include "serve/star_server.hpp"
+#include "sim/batch_scheduler.hpp"
+#include "util/status.hpp"
+#include "workload/arrival_trace.hpp"
+#include "workload/dataset_profile.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace star {
+namespace {
+
+core::StarConfig tiny_cfg() {
+  core::StarConfig cfg;
+  cfg.max_seq_len = 128;
+  return cfg;
+}
+
+const nn::BertConfig kBert = nn::BertConfig::tiny();
+
+const core::BatchEncoderSim& shared_model() {
+  static const core::BatchEncoderSim model(tiny_cfg(), kBert);
+  return model;
+}
+
+/// One embedding of `seq_len` tokens (variable-length test traffic).
+nn::Tensor input_of_len(std::size_t seq_len, std::uint64_t seed) {
+  return workload::embedding_batch(
+      1, seq_len, static_cast<std::size_t>(kBert.d_model), 1.0, seed)[0];
+}
+
+nn::Tensor solo_reference(const core::BatchEncoderSim& model,
+                          const nn::Tensor& input, std::uint64_t run_seed) {
+  sim::BatchScheduler solo(1);
+  const nn::Tensor one[] = {input};
+  auto out = model.run_encoder_batch(one, solo, run_seed);
+  return std::move(out[0]);
+}
+
+/// A deliberately varied length mix spanning several buckets of the edge
+/// lists used below (all within tiny_cfg()'s max_seq_len).
+std::vector<std::size_t> mixed_lengths(std::size_t n) {
+  static const std::size_t kLens[] = {4, 10, 16, 24, 40, 64, 96, 7, 33, 12};
+  std::vector<std::size_t> lens(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lens[i] = kLens[i % (sizeof(kLens) / sizeof(kLens[0]))];
+  }
+  return lens;
+}
+
+// ---------- LengthBucketing configuration ----------
+
+TEST(LengthBucketing, PadToMaxIsSingleBatchMaxQueue) {
+  const auto b = serve::LengthBucketing::pad_to_max();
+  EXPECT_EQ(b.mode, serve::BatchingMode::kPadToMax);
+  EXPECT_EQ(b.num_queues(), 1u);
+  EXPECT_EQ(b.bucket_of(2), 0u);
+  EXPECT_EQ(b.bucket_of(1 << 20), 0u);
+  EXPECT_TRUE(b.pads_to_batch_max(0));
+  EXPECT_EQ(b.padded_len(0, 37), 37);
+  EXPECT_EQ(b.edge_of(0), 0);
+}
+
+TEST(LengthBucketing, BucketedQueueLayoutAndRouting) {
+  const auto b = serve::LengthBucketing::bucketed({16, 32, 64});
+  EXPECT_EQ(b.num_queues(), 4u);  // 3 buckets + overflow
+  EXPECT_EQ(b.bucket_of(2), 0u);
+  EXPECT_EQ(b.bucket_of(16), 0u);  // edges are inclusive upper bounds
+  EXPECT_EQ(b.bucket_of(17), 1u);
+  EXPECT_EQ(b.bucket_of(32), 1u);
+  EXPECT_EQ(b.bucket_of(64), 2u);
+  EXPECT_EQ(b.bucket_of(65), 3u);  // overflow
+  EXPECT_FALSE(b.pads_to_batch_max(0));
+  EXPECT_TRUE(b.pads_to_batch_max(3));
+  EXPECT_EQ(b.padded_len(1, 20), 32);  // bucket edge, not batch max
+  EXPECT_EQ(b.padded_len(3, 100), 100);  // overflow pads to batch max
+  EXPECT_EQ(b.edge_of(2), 64);
+  EXPECT_EQ(b.edge_of(3), 0);
+}
+
+TEST(LengthBucketing, EmptyBucketListIsThePadToMaxRule) {
+  serve::LengthBucketing b;
+  b.mode = serve::BatchingMode::kLengthBucketed;
+  b.validate();
+  EXPECT_EQ(b.num_queues(), 1u);
+  EXPECT_EQ(b.bucket_of(5), 0u);
+  EXPECT_TRUE(b.pads_to_batch_max(0));
+  EXPECT_EQ(b.padded_len(0, 41), 41);
+}
+
+TEST(LengthBucketing, ValidateRejectsMalformedEdges) {
+  serve::LengthBucketing undersized;
+  undersized.mode = serve::BatchingMode::kLengthBucketed;
+  undersized.buckets.push_back(serve::LengthBucket{1});
+  EXPECT_THROW(undersized.validate(), InvalidArgument);
+  EXPECT_THROW(serve::LengthBucketing::bucketed({16, 16}), InvalidArgument);
+  EXPECT_THROW(serve::LengthBucketing::bucketed({32, 16}), InvalidArgument);
+  serve::LengthBucketing bad_wait;
+  bad_wait.mode = serve::BatchingMode::kLengthBucketed;
+  bad_wait.buckets.push_back(serve::LengthBucket{16, 0, -2});
+  EXPECT_THROW(bad_wait.validate(), InvalidArgument);
+}
+
+TEST(LengthBucketing, PerBucketKnobsInheritGlobalsViaSentinels) {
+  auto b = serve::LengthBucketing::bucketed({16, 64});
+  b.buckets[0].max_batch = 2;       // override
+  b.buckets[0].max_wait_ticks = 0;  // override
+  // bucket 1 keeps the sentinels (0 / -1): inherits the globals.
+  EXPECT_EQ(b.max_batch_for(0, 8), 2u);
+  EXPECT_EQ(b.max_wait_for(0, 7), 0u);
+  EXPECT_EQ(b.max_batch_for(1, 8), 8u);
+  EXPECT_EQ(b.max_wait_for(1, 7), 7u);
+  // Overflow and pad-to-max queues always use the globals.
+  EXPECT_EQ(b.max_batch_for(2, 8), 8u);
+  EXPECT_EQ(serve::LengthBucketing::pad_to_max().max_batch_for(0, 5), 5u);
+}
+
+// ---------- StatsAccumulator token accounting ----------
+
+TEST(LengthBucketingStats, OccupancySplitArithmetic) {
+  serve::StatsAccumulator acc;
+  // Batch 1: 2 requests padded to 32 (effective 20+30=50), capacity 4x32.
+  // Batch 2: 4 requests padded to 16 (effective 10+10+16+4=40), cap 4x16.
+  acc.on_batch(2, 0, 50, 2 * 32, 4 * 32);
+  acc.on_batch(4, 0, 40, 4 * 16, 4 * 16);
+  const auto s = acc.snapshot();
+  EXPECT_EQ(s.effective_tokens, 90u);
+  EXPECT_EQ(s.padded_tokens, 128u);
+  EXPECT_EQ(s.capacity_tokens, 192u);
+  EXPECT_DOUBLE_EQ(s.padded_occupancy, 128.0 / 192.0);
+  EXPECT_DOUBLE_EQ(s.effective_occupancy, 90.0 / 192.0);
+  EXPECT_DOUBLE_EQ(s.padding_waste, 1.0 - 90.0 / 128.0);
+  EXPECT_LE(s.effective_occupancy, s.padded_occupancy);
+}
+
+TEST(LengthBucketingStats, FixedLengthTrafficHasZeroWaste) {
+  serve::StatsAccumulator acc;
+  for (int i = 0; i < 10; ++i) {
+    acc.on_batch(3, 0, 3 * 48, 3 * 48, 8 * 48);  // effective == padded
+  }
+  const auto s = acc.snapshot();
+  EXPECT_DOUBLE_EQ(s.padding_waste, 0.0);
+  EXPECT_DOUBLE_EQ(s.effective_occupancy, s.padded_occupancy);
+}
+
+TEST(LengthBucketingStats, PerBucketSumsEqualTotals) {
+  serve::StatsAccumulator acc;
+  acc.configure_buckets({16, 64, 0});
+  acc.on_batch(2, 0, 20, 32, 64);
+  acc.on_batch(3, 1, 100, 192, 512);
+  acc.on_batch(1, 2, 90, 90, 720);
+  serve::RequestStats rs;
+  rs.seq_len = 10;
+  for (std::size_t q = 0; q < 3; ++q) {
+    rs.bucket = q;
+    acc.on_done(rs, true);
+  }
+  const auto s = acc.snapshot();
+  ASSERT_EQ(s.per_bucket.size(), 3u);
+  std::uint64_t eff = 0, padded = 0, batches = 0, requests = 0;
+  for (const auto& b : s.per_bucket) {
+    eff += b.effective_tokens;
+    padded += b.padded_tokens;
+    batches += b.batches;
+    requests += b.requests;
+  }
+  EXPECT_EQ(eff, s.effective_tokens);
+  EXPECT_EQ(padded, s.padded_tokens);
+  EXPECT_EQ(batches, s.batches);
+  EXPECT_EQ(requests, s.completed + s.failed);
+  EXPECT_EQ(s.per_bucket[0].edge, 16);
+  EXPECT_EQ(s.per_bucket[2].edge, 0);
+}
+
+TEST(LengthBucketingStats, OutOfLayoutBucketFoldsIntoLastSlot) {
+  serve::StatsAccumulator acc;
+  acc.configure_buckets({16, 0});
+  acc.on_batch(1, 7, 10, 10, 80);  // bucket 7 was never configured
+  const auto s = acc.snapshot();
+  ASSERT_EQ(s.per_bucket.size(), 2u);
+  EXPECT_EQ(s.per_bucket[1].batches, 1u);  // folded, not dropped
+  EXPECT_EQ(s.per_bucket[1].effective_tokens, s.effective_tokens);
+}
+
+// ---------- live server: payload equivalence ----------
+
+struct ServedRun {
+  std::vector<nn::Tensor> outputs;
+  std::vector<serve::RequestStats> stats;
+  serve::ServerStats server;
+};
+
+/// Serve `lens`-shaped requests (seeds kSeedBase + i) through a fresh
+/// server and return payloads + per-request stats + the final snapshot.
+ServedRun serve_mixed(const serve::LengthBucketing& bucketing, int threads,
+                      const std::vector<std::size_t>& lens,
+                      std::size_t max_batch = 4,
+                      std::uint32_t max_wait_ticks = 1) {
+  const auto& model = shared_model();
+  sim::BatchScheduler sched(threads);
+  serve::ServerOptions opts;
+  opts.batcher.max_batch = max_batch;
+  opts.batcher.max_wait_ticks = max_wait_ticks;
+  opts.batcher.bucketing = bucketing;
+  serve::StarServer server(model, sched, opts);
+  std::vector<std::future<serve::EncoderResponse>> futs;
+  futs.reserve(lens.size());
+  for (std::size_t i = 0; i < lens.size(); ++i) {
+    futs.push_back(server.submit(
+        serve::EncoderRequest{input_of_len(lens[i], 0xABC + i), 0x700 + i}));
+  }
+  ServedRun run;
+  for (auto& f : futs) {
+    auto resp = f.get();
+    run.outputs.push_back(std::move(resp.output));
+    run.stats.push_back(resp.stats);
+  }
+  server.shutdown();
+  run.server = server.stats();
+  return run;
+}
+
+TEST(LengthBucketedServer, PayloadBitIdenticalAcrossPolicyEdgeThreadMatrix) {
+  // The headline invariant: policy x edges x threads never touches the
+  // payload. Every cell must match the solo closed-batch reference
+  // bit-for-bit.
+  const auto& model = shared_model();
+  const auto lens = mixed_lengths(10);
+  std::vector<nn::Tensor> expected;
+  for (std::size_t i = 0; i < lens.size(); ++i) {
+    expected.push_back(
+        solo_reference(model, input_of_len(lens[i], 0xABC + i), 0x700 + i));
+  }
+  const serve::LengthBucketing policies[] = {
+      serve::LengthBucketing::pad_to_max(),
+      serve::LengthBucketing::bucketed({16}),
+      serve::LengthBucketing::bucketed({16, 32}),
+      serve::LengthBucketing::bucketed({8, 24, 48, 96}),
+  };
+  for (const auto& policy : policies) {
+    for (const int threads : {1, 4}) {
+      const auto run = serve_mixed(policy, threads, lens);
+      ASSERT_EQ(run.outputs.size(), expected.size());
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_TRUE(nn::Tensor::bit_identical(run.outputs[i], expected[i]))
+            << "mode=" << serve::to_string(policy.mode)
+            << " buckets=" << policy.buckets.size() << " threads=" << threads
+            << " request " << i;
+      }
+    }
+  }
+}
+
+TEST(LengthBucketedServer, BatchesNeverMixBuckets) {
+  const auto bucketing = serve::LengthBucketing::bucketed({16, 32, 64});
+  const auto run = serve_mixed(bucketing, 4, mixed_lengths(20));
+  std::map<std::uint64_t, std::set<std::size_t>> batch_buckets;
+  for (const auto& rs : run.stats) {
+    EXPECT_EQ(rs.bucket, bucketing.bucket_of(rs.seq_len))
+        << "request routed to the wrong queue";
+    batch_buckets[rs.batch_id].insert(rs.bucket);
+  }
+  for (const auto& [batch_id, buckets] : batch_buckets) {
+    EXPECT_EQ(buckets.size(), 1u)
+        << "batch " << batch_id << " mixed requests from different buckets";
+  }
+}
+
+TEST(LengthBucketedServer, SeqLenAndPaddedLenStamping) {
+  const auto bucketing = serve::LengthBucketing::bucketed({16, 32, 64});
+  const auto lens = mixed_lengths(12);
+  const auto run = serve_mixed(bucketing, 2, lens);
+  ASSERT_EQ(run.stats.size(), lens.size());
+  for (std::size_t i = 0; i < lens.size(); ++i) {
+    const auto& rs = run.stats[i];
+    EXPECT_EQ(rs.seq_len, static_cast<std::int64_t>(lens[i]));
+    EXPECT_GE(rs.padded_len, rs.seq_len);  // padding never shrinks a request
+    if (!bucketing.pads_to_batch_max(rs.bucket)) {
+      EXPECT_EQ(rs.padded_len, bucketing.buckets[rs.bucket].edge);
+    }
+  }
+}
+
+TEST(LengthBucketedServer, OverflowRequestsPadToBatchMax) {
+  const auto bucketing = serve::LengthBucketing::bucketed({8, 16});
+  // All longer than the last edge: everything lands in the overflow queue
+  // and pads to its own batch max, exactly the pad-to-max rule.
+  const std::vector<std::size_t> lens = {20, 33, 20, 41};
+  const auto run = serve_mixed(bucketing, 2, lens);
+  for (const auto& rs : run.stats) {
+    EXPECT_EQ(rs.bucket, 2u);
+    EXPECT_GE(rs.padded_len, rs.seq_len);
+    EXPECT_LE(rs.padded_len, 41);  // never beyond the longest batchmate
+  }
+  ASSERT_EQ(run.server.per_bucket.size(), 3u);
+  EXPECT_EQ(run.server.per_bucket[2].requests, lens.size());
+  EXPECT_EQ(run.server.per_bucket[0].requests, 0u);
+}
+
+TEST(LengthBucketedServer, ConservationEveryAdmittedServedExactlyOnce) {
+  const auto run =
+      serve_mixed(serve::LengthBucketing::bucketed({16, 48}), 4,
+                  mixed_lengths(24));
+  std::set<std::uint64_t> ids;
+  std::uint64_t effective = 0;
+  for (const auto& rs : run.stats) {
+    ids.insert(rs.request_id);
+    effective += static_cast<std::uint64_t>(rs.seq_len);
+  }
+  EXPECT_EQ(ids.size(), 24u);  // no request served twice
+  EXPECT_EQ(run.server.submitted, 24u);
+  EXPECT_EQ(run.server.admitted, 24u);
+  EXPECT_EQ(run.server.completed, 24u);
+  EXPECT_EQ(run.server.failed, 0u);
+  // Padded slots never execute: the server's effective-token ledger is
+  // EXACTLY the sum of true request lengths, whatever the padding did.
+  EXPECT_EQ(run.server.effective_tokens, effective);
+  EXPECT_GE(run.server.padded_tokens, run.server.effective_tokens);
+  std::uint64_t per_bucket_requests = 0;
+  for (const auto& b : run.server.per_bucket) {
+    per_bucket_requests += b.requests;
+  }
+  EXPECT_EQ(per_bucket_requests, 24u);
+}
+
+TEST(LengthBucketedServer, EmptyBucketListAccountsExactlyLikePadToMax) {
+  // Full-batch formation (huge wait, counts divide max_batch) makes batch
+  // membership deterministic, so the two runs must agree token-for-token.
+  serve::LengthBucketing degenerate;
+  degenerate.mode = serve::BatchingMode::kLengthBucketed;
+  const auto lens = mixed_lengths(8);
+  const auto a = serve_mixed(serve::LengthBucketing::pad_to_max(), 2, lens, 4,
+                             1000000);
+  const auto b = serve_mixed(degenerate, 2, lens, 4, 1000000);
+  EXPECT_EQ(a.server.batches, b.server.batches);
+  EXPECT_EQ(a.server.effective_tokens, b.server.effective_tokens);
+  EXPECT_EQ(a.server.padded_tokens, b.server.padded_tokens);
+  EXPECT_EQ(a.server.capacity_tokens, b.server.capacity_tokens);
+  ASSERT_EQ(a.server.per_bucket.size(), 1u);
+  ASSERT_EQ(b.server.per_bucket.size(), 1u);
+  EXPECT_EQ(b.server.per_bucket[0].edge, 0);
+}
+
+TEST(LengthBucketedServer, FixedLengthTrafficHasZeroWasteUnderBothModes) {
+  const std::vector<std::size_t> lens(8, 24);
+  for (const auto& policy : {serve::LengthBucketing::pad_to_max(),
+                             serve::LengthBucketing::bucketed({24, 64})}) {
+    const auto run = serve_mixed(policy, 2, lens);
+    EXPECT_EQ(run.server.effective_tokens, run.server.padded_tokens)
+        << serve::to_string(policy.mode);
+    EXPECT_DOUBLE_EQ(run.server.padding_waste, 0.0);
+  }
+}
+
+TEST(LengthBucketedServer, DeterministicTokenAccountingOnFullBatches) {
+  // max_wait huge + counts divide max_batch: batches are exactly the
+  // per-queue arrival groups, so the token ledger is a closed-form number.
+  const auto bucketing = serve::LengthBucketing::bucketed({16});
+  // Queue 0 (<=16): lengths 4, 16, 8, 12 -> one batch of 4 padded to 16.
+  // Overflow: 20, 40, 30, 50 -> one batch of 4 padded to its max, 50.
+  const std::vector<std::size_t> lens = {4, 20, 16, 40, 8, 30, 12, 50};
+  const auto run = serve_mixed(bucketing, 2, lens, 4, 1000000);
+  EXPECT_EQ(run.server.batches, 2u);
+  EXPECT_EQ(run.server.effective_tokens, 4u + 16 + 8 + 12 + 20 + 40 + 30 + 50);
+  EXPECT_EQ(run.server.padded_tokens, 4u * 16 + 4u * 50);
+  EXPECT_EQ(run.server.capacity_tokens, 4u * 16 + 4u * 50);
+  ASSERT_EQ(run.server.per_bucket.size(), 2u);
+  EXPECT_EQ(run.server.per_bucket[0].padded_tokens, 4u * 16);
+  EXPECT_EQ(run.server.per_bucket[1].padded_tokens, 4u * 50);
+}
+
+TEST(LengthBucketedServer, PerBucketMaxBatchOverrideCapsDispatch) {
+  auto bucketing = serve::LengthBucketing::bucketed({16});
+  bucketing.buckets[0].max_batch = 2;  // global stays 4
+  const std::vector<std::size_t> lens = {4, 8, 12, 16};  // all bucket 0
+  const auto run = serve_mixed(bucketing, 2, lens, 4, 1000000);
+  // The override dispatches 2+2 instead of one batch of 4.
+  EXPECT_EQ(run.server.batches, 2u);
+  EXPECT_EQ(run.server.batch_occupancy_max, 2u);
+  EXPECT_EQ(run.server.per_bucket[0].batches, 2u);
+}
+
+TEST(LengthBucketedServer, FaultInjectionStreamsLeavePayloadsUntouched) {
+  // Interleave poisoned requests (num_layers beyond the stack depth -> the
+  // future carries InvalidArgument) with good ones, under both policies:
+  // failures must neither corrupt batchmates' payloads nor leak out of
+  // their own future, and the stats ledger must split completed/failed.
+  const auto& model = shared_model();
+  const auto lens = mixed_lengths(8);
+  std::vector<nn::Tensor> expected;
+  for (std::size_t i = 0; i < lens.size(); ++i) {
+    expected.push_back(
+        solo_reference(model, input_of_len(lens[i], 0xFA17 + i), 0x900 + i));
+  }
+  for (const auto& policy : {serve::LengthBucketing::pad_to_max(),
+                             serve::LengthBucketing::bucketed({16, 32})}) {
+    sim::BatchScheduler sched(4);
+    serve::ServerOptions opts;
+    opts.batcher.max_batch = 4;
+    opts.batcher.max_wait_ticks = 1;
+    opts.batcher.bucketing = policy;
+    serve::StarServer server(model, sched, opts);
+    std::vector<std::future<serve::EncoderResponse>> good;
+    std::vector<std::future<serve::EncoderResponse>> bad;
+    for (std::size_t i = 0; i < lens.size(); ++i) {
+      good.push_back(server.submit(
+          serve::EncoderRequest{input_of_len(lens[i], 0xFA17 + i), 0x900 + i}));
+      serve::EncoderRequest poison{input_of_len(lens[i], 0xBAD + i),
+                                   0x900 + i};
+      poison.num_layers = 99;  // > stack_depth: compute throws
+      bad.push_back(server.submit(poison));
+    }
+    for (std::size_t i = 0; i < good.size(); ++i) {
+      EXPECT_TRUE(
+          nn::Tensor::bit_identical(good[i].get().output, expected[i]))
+          << serve::to_string(policy.mode) << " request " << i;
+      EXPECT_THROW(bad[i].get(), InvalidArgument);
+    }
+    server.shutdown();
+    const auto s = server.stats();
+    EXPECT_EQ(s.completed, lens.size());
+    EXPECT_EQ(s.failed, lens.size());
+  }
+}
+
+// ---------- admission control across buckets ----------
+
+TEST(LengthBucketedServer, AdmissionBoundIsTotalAcrossBuckets) {
+  // max_batch is unreachably large and max_wait huge, so nothing
+  // dispatches: submissions pile up across the two queues until the TOTAL
+  // hits max_queue, and the next one must be rejected even though each
+  // individual queue is far below max_queue.
+  const auto& model = shared_model();
+  sim::BatchScheduler sched(2);
+  serve::ServerOptions opts;
+  opts.max_queue = 6;
+  opts.admission = serve::AdmissionPolicy::kReject;
+  opts.batcher.max_batch = 64;
+  opts.batcher.max_wait_ticks = 1000000;
+  opts.batcher.bucketing = serve::LengthBucketing::bucketed({16});
+  serve::StarServer server(model, sched, opts);
+  std::vector<std::future<serve::AnalyticResponse>> futs;
+  for (std::size_t i = 0; i < 6; ++i) {
+    // Alternate buckets: 3 land in bucket 0, 3 in overflow.
+    futs.push_back(server.submit(
+        serve::AnalyticRequest{i % 2 == 0 ? std::int64_t{8} : std::int64_t{32}}));
+  }
+  auto refused = server.submit(serve::AnalyticRequest{8});
+  EXPECT_THROW(refused.get(), serve::RejectedError);
+  server.shutdown();  // dispatches the backlog; every admitted future resolves
+  for (auto& f : futs) {
+    EXPECT_NO_THROW(f.get());
+  }
+  const auto s = server.stats();
+  EXPECT_EQ(s.admitted, 6u);
+  EXPECT_EQ(s.rejected, 1u);
+}
+
+TEST(LengthBucketedServer, ShedOldestEvictsGloballyOldestAcrossBuckets) {
+  const auto& model = shared_model();
+  sim::BatchScheduler sched(2);
+  serve::ServerOptions opts;
+  opts.max_queue = 4;
+  opts.admission = serve::AdmissionPolicy::kShedOldest;
+  opts.batcher.max_batch = 64;
+  opts.batcher.max_wait_ticks = 1000000;
+  opts.batcher.bucketing = serve::LengthBucketing::bucketed({16});
+  serve::StarServer server(model, sched, opts);
+  // First admitted request goes to bucket 0; the queue then fills with
+  // overflow-bucket requests. The overflowing submit must shed the FIRST
+  // request — the globally oldest — even though its own bucket queue has
+  // just that one entry.
+  auto oldest = server.submit(serve::AnalyticRequest{8});
+  std::vector<std::future<serve::AnalyticResponse>> rest;
+  for (int i = 0; i < 4; ++i) {
+    rest.push_back(server.submit(serve::AnalyticRequest{32}));
+  }
+  EXPECT_THROW(oldest.get(), serve::ShedError);
+  server.shutdown();
+  for (auto& f : rest) {
+    EXPECT_NO_THROW(f.get());
+  }
+  EXPECT_EQ(server.stats().shed, 1u);
+}
+
+TEST(LengthBucketedServer, AnalyticRequestsBucketBySeqLenField) {
+  const auto bucketing = serve::LengthBucketing::bucketed({16, 64});
+  const auto& model = shared_model();
+  sim::BatchScheduler sched(2);
+  serve::ServerOptions opts;
+  opts.batcher.bucketing = bucketing;
+  serve::StarServer server(model, sched, opts);
+  auto a = server.submit(serve::AnalyticRequest{10}).get();
+  auto b = server.submit(serve::AnalyticRequest{40}).get();
+  auto c = server.submit(serve::AnalyticRequest{100}).get();
+  EXPECT_EQ(a.stats.bucket, 0u);
+  EXPECT_EQ(b.stats.bucket, 1u);
+  EXPECT_EQ(c.stats.bucket, 2u);
+  EXPECT_EQ(a.stats.seq_len, 10);
+  EXPECT_EQ(c.stats.padded_len, 100);  // overflow pads to batch max
+}
+
+TEST(LengthBucketedServer, AttentionRequestsBucketByQRows) {
+  const auto& model = shared_model();
+  sim::BatchScheduler sched(2);
+  serve::ServerOptions opts;
+  opts.batcher.bucketing = serve::LengthBucketing::bucketed({16});
+  serve::StarServer server(model, sched, opts);
+  const auto qkv = workload::qkv_batch(1, 24, 16, 2.0, 0xA77)[0];
+  auto resp = server.submit(serve::AttentionRequest{qkv}).get();
+  EXPECT_EQ(resp.stats.seq_len, 24);
+  EXPECT_EQ(resp.stats.bucket, 1u);  // 24 > edge 16 -> overflow
+}
+
+// ---------- virtual-time batching simulator ----------
+
+serve::BatchSimConfig sim_cfg(const serve::LengthBucketing& bucketing) {
+  serve::BatchSimConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait_ticks = 8;
+  cfg.bucketing = bucketing;
+  return cfg;
+}
+
+TEST(BatchSim, DeterministicReplay) {
+  const auto hist = workload::length_histogram_for(workload::Dataset::kMrpc);
+  const auto lens = workload::sample_lengths(hist, 5000, 0x1234);
+  const auto trace = workload::ArrivalTrace::generate_burst(
+      5000, workload::BurstShape{}, 0x777);
+  const auto cfg = sim_cfg(serve::LengthBucketing::bucketed({32, 64}));
+  const auto a = serve::simulate_batching(trace, lens, cfg);
+  const auto b = serve::simulate_batching(trace, lens, cfg);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.stats.batches, b.stats.batches);
+  EXPECT_EQ(a.stats.effective_tokens, b.stats.effective_tokens);
+  EXPECT_EQ(a.stats.padded_tokens, b.stats.padded_tokens);
+  EXPECT_EQ(a.makespan_ticks, b.makespan_ticks);
+  EXPECT_EQ(a.stats.queue_wait_p99_s, b.stats.queue_wait_p99_s);
+}
+
+TEST(BatchSim, ConservationLaws) {
+  const auto hist = workload::length_histogram_for(workload::Dataset::kDefault);
+  const std::size_t n = 20000;
+  const auto lens = workload::sample_lengths(hist, n, 0xC0DE);
+  std::uint64_t total_len = 0;
+  for (const auto l : lens) {
+    total_len += static_cast<std::uint64_t>(l);
+  }
+  const auto trace = workload::ArrivalTrace::generate(
+      n, workload::ArrivalProcess::kPoisson, 1.0, 0x99);
+  for (const auto& policy :
+       {serve::LengthBucketing::pad_to_max(),
+        serve::LengthBucketing::bucketed({16, 32, 64, 128, 256})}) {
+    const auto r = serve::simulate_batching(trace, lens, sim_cfg(policy));
+    EXPECT_EQ(r.served, n);  // every arrival served exactly once
+    EXPECT_EQ(r.stats.completed, n);
+    EXPECT_EQ(r.stats.effective_tokens, total_len);  // padding never executes
+    EXPECT_GE(r.stats.padded_tokens, r.stats.effective_tokens);
+    EXPECT_GE(r.stats.capacity_tokens, r.stats.padded_tokens);
+    std::uint64_t per_bucket = 0;
+    for (const auto& b : r.stats.per_bucket) {
+      per_bucket += b.requests;
+    }
+    EXPECT_EQ(per_bucket, n);
+  }
+}
+
+TEST(BatchSim, EmptyBucketListMatchesPadToMaxExactly) {
+  const auto hist = workload::length_histogram_for(workload::Dataset::kCola);
+  const auto lens = workload::sample_lengths(hist, 8000, 0xF00);
+  const auto trace = workload::ArrivalTrace::generate_diurnal(
+      8000, workload::DiurnalShape{}, 0xD1);
+  serve::LengthBucketing degenerate;
+  degenerate.mode = serve::BatchingMode::kLengthBucketed;  // zero buckets
+  const auto a =
+      serve::simulate_batching(trace, lens, sim_cfg(serve::LengthBucketing::pad_to_max()));
+  const auto b = serve::simulate_batching(trace, lens, sim_cfg(degenerate));
+  EXPECT_EQ(a.stats.batches, b.stats.batches);
+  EXPECT_EQ(a.stats.effective_tokens, b.stats.effective_tokens);
+  EXPECT_EQ(a.stats.padded_tokens, b.stats.padded_tokens);
+  EXPECT_EQ(a.stats.capacity_tokens, b.stats.capacity_tokens);
+  EXPECT_EQ(a.makespan_ticks, b.makespan_ticks);
+  EXPECT_EQ(a.stats.queue_wait_mean_s, b.stats.queue_wait_mean_s);
+}
+
+TEST(BatchSim, FixedLengthHasZeroWasteUnderEveryPolicy) {
+  const std::vector<std::int64_t> lens(4000, 48);
+  const auto trace = workload::ArrivalTrace::generate(
+      4000, workload::ArrivalProcess::kUniform, 0.3, 0x42);
+  for (const auto& policy : {serve::LengthBucketing::pad_to_max(),
+                             serve::LengthBucketing::bucketed({48, 96})}) {
+    const auto r = serve::simulate_batching(trace, lens, sim_cfg(policy));
+    EXPECT_DOUBLE_EQ(r.stats.padding_waste, 0.0)
+        << serve::to_string(policy.mode);
+    EXPECT_DOUBLE_EQ(r.stats.effective_occupancy, r.stats.padded_occupancy);
+  }
+}
+
+TEST(BatchSim, BucketedBeatsPadToMaxOnMixedLengths) {
+  // Saturating mixed-length traffic with edges matched to the histogram:
+  // bucketing must strictly cut waste and strictly raise effective
+  // occupancy — the relation the bench JSON and CI pin.
+  const auto hist = workload::length_histogram_for(workload::Dataset::kDefault);
+  const std::size_t n = 50000;
+  const auto lens = workload::sample_lengths(hist, n, 0xBEEF);
+  workload::BurstShape burst;
+  burst.mean_inter_arrival_ticks = 0.4;  // ~2x the service rate: backlogged
+  const auto trace = workload::ArrivalTrace::generate_burst(n, burst, 0x8);
+  std::vector<std::int64_t> edges;
+  for (const auto& bin : hist.bins) {
+    edges.push_back(bin.len);
+  }
+  const auto ptm = serve::simulate_batching(
+      trace, lens, sim_cfg(serve::LengthBucketing::pad_to_max()));
+  const auto bkt = serve::simulate_batching(
+      trace, lens, sim_cfg(serve::LengthBucketing::bucketed(edges)));
+  EXPECT_GT(ptm.stats.padding_waste, 0.0);
+  EXPECT_LT(bkt.stats.padding_waste, ptm.stats.padding_waste);
+  EXPECT_GT(bkt.stats.effective_occupancy, ptm.stats.effective_occupancy);
+  // Edges at the histogram bins make intra-bucket padding impossible.
+  EXPECT_DOUBLE_EQ(bkt.stats.padding_waste, 0.0);
+}
+
+TEST(BatchSim, CausalityAndUtilizationBounds) {
+  const auto hist = workload::length_histogram_for(workload::Dataset::kCnews);
+  const auto lens = workload::sample_lengths(hist, 10000, 0x5);
+  const auto trace = workload::ArrivalTrace::generate_burst(
+      10000, workload::BurstShape{}, 0x6);
+  const auto r = serve::simulate_batching(
+      trace, lens, sim_cfg(serve::LengthBucketing::bucketed({128, 256})));
+  EXPECT_GE(r.stats.queue_wait_mean_s, 0.0);  // no batch before its members
+  EXPECT_GE(r.stats.queue_wait_p99_s, 0.0);
+  EXPECT_GE(r.makespan_ticks, trace.makespan_ticks());
+  EXPECT_GT(r.utilization, 0.0);
+  EXPECT_LE(r.utilization, 1.0 + 1e-12);
+  EXPECT_LE(r.busy_ticks, r.makespan_ticks + 1e-9);
+}
+
+TEST(BatchSim, RejectsMalformedInputs) {
+  const auto trace = workload::ArrivalTrace::generate(
+      4, workload::ArrivalProcess::kPoisson, 1.0, 0x1);
+  const auto cfg = sim_cfg(serve::LengthBucketing::pad_to_max());
+  EXPECT_THROW(serve::simulate_batching(trace, {1, 2, 3}, cfg),
+               InvalidArgument);  // size mismatch
+  EXPECT_THROW(serve::simulate_batching(trace, {4, 0, 4, 4}, cfg),
+               InvalidArgument);  // non-positive length
+  serve::BatchSimConfig bad = cfg;
+  bad.ticks_per_token = -1.0;
+  EXPECT_THROW(serve::simulate_batching(trace, {4, 4, 4, 4}, bad),
+               InvalidArgument);
+}
+
+TEST(BatchSim, PerBucketWaitsReflectPerBucketWaitOverrides) {
+  // A zero-wait bucket dispatches its head immediately; a long-wait bucket
+  // coalesces. Under light load the zero-wait bucket must therefore see
+  // strictly more batches per request.
+  auto bucketing = serve::LengthBucketing::bucketed({16, 64});
+  bucketing.buckets[0].max_wait_ticks = 0;
+  bucketing.buckets[1].max_wait_ticks = 500;
+  std::vector<std::int64_t> lens;
+  for (int i = 0; i < 2000; ++i) {
+    lens.push_back(i % 2 == 0 ? 8 : 32);
+  }
+  const auto trace = workload::ArrivalTrace::generate(
+      2000, workload::ArrivalProcess::kUniform, 5.0, 0x33);
+  auto cfg = sim_cfg(bucketing);
+  cfg.ticks_per_token = 0.001;  // light service: policy, not backlog, decides
+  const auto r = serve::simulate_batching(trace, lens, cfg);
+  ASSERT_EQ(r.stats.per_bucket.size(), 3u);
+  const auto& fast = r.stats.per_bucket[0];
+  const auto& slow = r.stats.per_bucket[1];
+  ASSERT_GT(fast.requests, 0u);
+  ASSERT_GT(slow.requests, 0u);
+  EXPECT_LT(fast.batch_occupancy_mean, slow.batch_occupancy_mean);
+  EXPECT_LE(fast.queue_wait_mean_s, slow.queue_wait_mean_s);
+}
+
+// ---------- bounded multi-threaded soak (TSan target) ----------
+
+TEST(LengthBucketedServer, BoundedSoakMixedLengthsManySubmitters) {
+  // Four submitter threads hammer one bucketed server with mixed-length
+  // analytic requests under the blocking admission policy, while a monitor
+  // thread polls stats() concurrently. Every future must resolve and the
+  // ledger must balance; the CI ThreadSanitizer job runs this binary, so
+  // the soak doubles as the data-race probe for the multi-queue batcher.
+  const auto& model = shared_model();
+  sim::BatchScheduler sched(4);
+  serve::ServerOptions opts;
+  opts.max_queue = 16;
+  opts.admission = serve::AdmissionPolicy::kBlock;
+  opts.batcher.max_batch = 4;
+  opts.batcher.max_wait_ticks = 1;
+  opts.batcher.bucketing = serve::LengthBucketing::bucketed({16, 48});
+  serve::StarServer server(model, sched, opts);
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 64;
+  std::atomic<std::uint64_t> resolved{0};
+  std::atomic<bool> monitoring{true};
+  std::thread monitor([&] {
+    while (monitoring.load()) {
+      const auto s = server.stats();
+      // Invariants that must hold at EVERY instant, not just at the end.
+      EXPECT_LE(s.effective_tokens, s.padded_tokens);
+      EXPECT_LE(s.padded_tokens, s.capacity_tokens);
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> submitters;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      const std::int64_t lens[] = {8, 16, 32, 48, 64, 96};
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        auto fut = server.submit(
+            serve::AnalyticRequest{lens[(t * kPerThread + i) % 6]});
+        fut.get();
+        resolved.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : submitters) {
+    th.join();
+  }
+  monitoring.store(false);
+  monitor.join();
+  server.shutdown();
+  EXPECT_EQ(resolved.load(), kThreads * kPerThread);
+  const auto s = server.stats();
+  EXPECT_EQ(s.completed, kThreads * kPerThread);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.submitted, s.admitted);  // kBlock never drops
+  std::uint64_t per_bucket = 0;
+  for (const auto& b : s.per_bucket) {
+    per_bucket += b.requests;
+  }
+  EXPECT_EQ(per_bucket, s.completed);
+}
+
+}  // namespace
+}  // namespace star

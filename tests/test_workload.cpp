@@ -4,6 +4,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
 
 #include "nn/attention.hpp"
 #include "nn/softmax_ref.hpp"
@@ -278,6 +281,218 @@ TEST(ArrivalTrace, ProcessesDifferAndEmptyTraceIsSane) {
   EXPECT_DOUBLE_EQ(e.makespan_ticks(), 0.0);
   EXPECT_THROW(ArrivalTrace::generate(4, ArrivalProcess::kPoisson, 0.0, 5),
                InvalidArgument);
+}
+
+// ---------- burst / diurnal arrival shapes ----------
+
+TEST(ArrivalShapes, BurstTraceDeterministicAndStrictlyIncreasing) {
+  BurstShape shape;
+  const auto a = ArrivalTrace::generate_burst(4000, shape, 0xB00);
+  const auto b = ArrivalTrace::generate_burst(4000, shape, 0xB00);
+  ASSERT_EQ(a.size(), 4000u);
+  EXPECT_EQ(a.arrival_ticks, b.arrival_ticks);  // seed-deterministic, exact
+  EXPECT_GT(a.arrival_ticks.front(), 0.0);
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    // The from_gaps ulp-nudge rule: STRICTLY increasing, never merely
+    // non-decreasing, even where thinning accepts near-simultaneous draws.
+    ASSERT_LT(a.arrival_ticks[i - 1], a.arrival_ticks[i]) << "i=" << i;
+  }
+  const auto c = ArrivalTrace::generate_burst(4000, shape, 0xB01);
+  EXPECT_NE(a.arrival_ticks, c.arrival_ticks);  // seed actually matters
+}
+
+TEST(ArrivalShapes, DiurnalTraceDeterministicAndStrictlyIncreasing) {
+  DiurnalShape shape;
+  const auto a = ArrivalTrace::generate_diurnal(4000, shape, 0xD00);
+  const auto b = ArrivalTrace::generate_diurnal(4000, shape, 0xD00);
+  EXPECT_EQ(a.arrival_ticks, b.arrival_ticks);
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    ASSERT_LT(a.arrival_ticks[i - 1], a.arrival_ticks[i]) << "i=" << i;
+  }
+}
+
+TEST(ArrivalShapes, BurstRateProfileIsMeanPreservingSquareWave) {
+  BurstShape shape;
+  shape.mean_inter_arrival_ticks = 2.0;
+  shape.period_ticks = 100.0;
+  shape.duty = 0.2;
+  shape.intensity = 3.0;
+  const double r = 1.0 / shape.mean_inter_arrival_ticks;
+  // In-window rate is intensity * r; off-window rate rebalances so the
+  // period-average stays exactly r.
+  EXPECT_DOUBLE_EQ(shape.rate_at(5.0), 3.0 * r);
+  EXPECT_DOUBLE_EQ(shape.rate_at(19.9), 3.0 * r);
+  const double off = shape.rate_at(50.0);
+  EXPECT_DOUBLE_EQ(shape.duty * shape.intensity * r + (1.0 - shape.duty) * off,
+                   r);
+  EXPECT_DOUBLE_EQ(shape.rate_at(105.0), 3.0 * r);  // periodic
+  EXPECT_DOUBLE_EQ(shape.peak_rate(), 3.0 * r);
+}
+
+TEST(ArrivalShapes, DiurnalRateProfileOscillatesAroundMean) {
+  DiurnalShape shape;
+  shape.mean_inter_arrival_ticks = 1.0;
+  shape.period_ticks = 400.0;
+  shape.amplitude = 0.5;
+  EXPECT_DOUBLE_EQ(shape.rate_at(0.0), 1.0);            // sin(0) = 0
+  EXPECT_DOUBLE_EQ(shape.rate_at(100.0), 1.5);          // quarter period: peak
+  EXPECT_DOUBLE_EQ(shape.rate_at(300.0), 0.5);          // trough
+  EXPECT_DOUBLE_EQ(shape.peak_rate(), 1.5);
+  for (double t = 0.0; t < 800.0; t += 13.0) {
+    EXPECT_GT(shape.rate_at(t), 0.0);  // amplitude < 1: rate never vanishes
+    EXPECT_LE(shape.rate_at(t), shape.peak_rate() + 1e-12);
+  }
+}
+
+TEST(ArrivalShapes, BurstEmpiricalRateMatchesShapeWithinTolerance) {
+  // Lewis-Shedler thinning is an EXACT inhomogeneous Poisson construction:
+  // the empirical overall rate must match 1/mean, and the in-burst windows
+  // must hold ~duty*intensity of the arrivals.
+  BurstShape shape;
+  shape.mean_inter_arrival_ticks = 1.0;
+  shape.period_ticks = 200.0;
+  shape.duty = 0.25;
+  shape.intensity = 3.0;
+  const std::size_t n = 60000;
+  const auto trace = ArrivalTrace::generate_burst(n, shape, 0xFEED);
+  const double empirical_mean = trace.makespan_ticks() / static_cast<double>(n);
+  EXPECT_NEAR(empirical_mean, shape.mean_inter_arrival_ticks,
+              0.05 * shape.mean_inter_arrival_ticks);
+  std::size_t in_window = 0;
+  for (const double t : trace.arrival_ticks) {
+    const double phase = std::fmod(t, shape.period_ticks);
+    in_window += phase < shape.duty * shape.period_ticks ? 1 : 0;
+  }
+  const double in_share = static_cast<double>(in_window) / static_cast<double>(n);
+  EXPECT_NEAR(in_share, shape.duty * shape.intensity, 0.05);
+}
+
+TEST(ArrivalShapes, DiurnalEmpiricalRateTracksTheSinusoid) {
+  DiurnalShape shape;
+  shape.mean_inter_arrival_ticks = 1.0;
+  shape.period_ticks = 500.0;
+  shape.amplitude = 0.8;
+  const std::size_t n = 60000;
+  const auto trace = ArrivalTrace::generate_diurnal(n, shape, 0xFACE);
+  EXPECT_NEAR(trace.makespan_ticks() / static_cast<double>(n), 1.0, 0.05);
+  // Peak-phase halves of the cycle must hold more arrivals than trough
+  // halves, by roughly the amplitude-implied ratio.
+  std::size_t rising = 0;
+  for (const double t : trace.arrival_ticks) {
+    const double phase = std::fmod(t, shape.period_ticks);
+    rising += phase < shape.period_ticks / 2.0 ? 1 : 0;  // sin > 0 half
+  }
+  const double rising_share = static_cast<double>(rising) / static_cast<double>(n);
+  // Integrating r*(1+a*sin) over the positive half gives (1 + 2a/pi)/2.
+  constexpr double kPi = 3.14159265358979323846;
+  const double expected = 0.5 * (1.0 + 2.0 * shape.amplitude / kPi);
+  EXPECT_NEAR(rising_share, expected, 0.03);
+}
+
+TEST(ArrivalShapes, ValidationRejectsMalformedShapes) {
+  BurstShape b;
+  b.duty = 0.0;
+  EXPECT_THROW(ArrivalTrace::generate_burst(4, b, 1), InvalidArgument);
+  b = BurstShape{};
+  b.intensity = 0.5;  // below 1: not a burst
+  EXPECT_THROW(ArrivalTrace::generate_burst(4, b, 1), InvalidArgument);
+  b = BurstShape{};
+  b.duty = 0.5;
+  b.intensity = 3.0;  // duty*intensity > 1: off-window rate would go negative
+  EXPECT_THROW(ArrivalTrace::generate_burst(4, b, 1), InvalidArgument);
+  DiurnalShape d;
+  d.amplitude = 1.0;  // rate would touch zero: thinning never terminates
+  EXPECT_THROW(ArrivalTrace::generate_diurnal(4, d, 1), InvalidArgument);
+  d = DiurnalShape{};
+  d.mean_inter_arrival_ticks = 0.0;
+  EXPECT_THROW(ArrivalTrace::generate_diurnal(4, d, 1), InvalidArgument);
+}
+
+// ---------- per-dataset length histograms ----------
+
+TEST(LengthHistogram, PerDatasetHistogramsAreValidAndOrdered) {
+  for (const Dataset d : {Dataset::kCnews, Dataset::kMrpc, Dataset::kCola,
+                          Dataset::kDefault}) {
+    const auto hist = length_histogram_for(d);
+    hist.validate();
+    ASSERT_FALSE(hist.bins.empty());
+    double weight = 0.0;
+    for (std::size_t i = 0; i < hist.bins.size(); ++i) {
+      EXPECT_GE(hist.bins[i].len, 2);
+      if (i > 0) {
+        EXPECT_LT(hist.bins[i - 1].len, hist.bins[i].len);
+      }
+      weight += hist.bins[i].weight;
+    }
+    EXPECT_GT(weight, 0.0);
+    EXPECT_EQ(hist.min_len(), hist.bins.front().len);
+    EXPECT_EQ(hist.max_len(), hist.bins.back().len);
+    EXPECT_GE(hist.mean_len(), static_cast<double>(hist.min_len()));
+    EXPECT_LE(hist.mean_len(), static_cast<double>(hist.max_len()));
+  }
+  // The profiles embed their own histograms, consistent with the factory.
+  EXPECT_EQ(DatasetProfile::mrpc().length_hist.bins.size(),
+            length_histogram_for(Dataset::kMrpc).bins.size());
+}
+
+TEST(LengthHistogram, DatasetsAreLengthDistinct) {
+  // CNEWS documents (long), MRPC pairs (medium), CoLA sentences (short):
+  // the modelled means must preserve that ordering with clear separation.
+  const double cnews = length_histogram_for(Dataset::kCnews).mean_len();
+  const double mrpc = length_histogram_for(Dataset::kMrpc).mean_len();
+  const double cola = length_histogram_for(Dataset::kCola).mean_len();
+  EXPECT_GT(cnews, 2.0 * mrpc);
+  EXPECT_GT(mrpc, 2.0 * cola);
+}
+
+TEST(LengthHistogram, SamplingIsDeterministicAndMatchesWeights) {
+  const auto hist = length_histogram_for(Dataset::kMrpc);
+  const std::size_t n = 50000;
+  const auto a = sample_lengths(hist, n, 0x1CE);
+  const auto b = sample_lengths(hist, n, 0x1CE);
+  EXPECT_EQ(a, b);
+  const auto c = sample_lengths(hist, n, 0x1CF);
+  EXPECT_NE(a, c);
+  std::map<std::int64_t, std::size_t> counts;
+  for (const auto len : a) {
+    ++counts[len];
+  }
+  double total_weight = 0.0;
+  for (const auto& bin : hist.bins) {
+    total_weight += bin.weight;
+  }
+  for (const auto& bin : hist.bins) {
+    const double expected = bin.weight / total_weight;
+    const double got =
+        static_cast<double>(counts[bin.len]) / static_cast<double>(n);
+    EXPECT_NEAR(got, expected, 0.01) << "len=" << bin.len;
+    counts.erase(bin.len);
+  }
+  EXPECT_TRUE(counts.empty());  // nothing outside the support was drawn
+}
+
+TEST(LengthHistogram, FixedHistogramIsAPointMass) {
+  const auto hist = LengthHistogram::fixed(48);
+  EXPECT_EQ(hist.min_len(), 48);
+  EXPECT_EQ(hist.max_len(), 48);
+  EXPECT_DOUBLE_EQ(hist.mean_len(), 48.0);
+  for (const auto len : sample_lengths(hist, 100, 0x9)) {
+    EXPECT_EQ(len, 48);
+  }
+}
+
+TEST(LengthHistogram, ValidateRejectsMalformedBins) {
+  LengthHistogram empty;
+  EXPECT_THROW(empty.validate(), InvalidArgument);
+  LengthHistogram unsorted;
+  unsorted.bins = {{32, 1.0}, {16, 1.0}};
+  EXPECT_THROW(unsorted.validate(), InvalidArgument);
+  LengthHistogram bad_weight;
+  bad_weight.bins = {{16, 0.0}};
+  EXPECT_THROW(bad_weight.validate(), InvalidArgument);
+  LengthHistogram undersized;
+  undersized.bins = {{1, 1.0}};
+  EXPECT_THROW(undersized.validate(), InvalidArgument);
 }
 
 }  // namespace
