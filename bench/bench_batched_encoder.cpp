@@ -42,9 +42,19 @@
 // (bounded-memory) stats, so the bucketed-vs-pad-to-max waste relation is
 // an exact, reproducible number CI can pin.
 //
+// Part 7 (cluster serving, --nodes > 1): the same open-loop request stream
+// pushed through serve::Cluster — N full node instances behind one
+// submit() front end — once per routing policy (round-robin, least-loaded,
+// affinity), every response still bit-identical to its solo reference
+// (routing is scheduling/accounting-only). Reports the fleet-merged wait
+// p99 per policy, the hw::HostLink transport bill, wall-clock scaling
+// efficiency vs a 1-node run of the same trace, and a deterministic
+// sequential mixed-dataset pass that pins the affinity-vs-round-robin cold
+// LUT-miss comparison (the number CI asserts on).
+//
 // Flags (see --help): --threads, --batch, --seqlen, --layers, --shards,
 // --mixed-datasets, --residency-cap, --length-dist, --buckets,
-// --soak-arrivals.
+// --soak-arrivals, --nodes, --route-policy.
 // The last stdout line is a one-line JSON summary for BENCH_*.json
 // tracking, validated by CI (`tail -n 1 | python3 -m json.tool`).
 // Wall-clock speedup tracks the physical cores of the host (a
@@ -62,6 +72,7 @@
 #include "core/batch_encoder.hpp"
 #include "core/encoder_stack.hpp"
 #include "serve/batch_sim.hpp"
+#include "serve/cluster.hpp"
 #include "serve/star_server.hpp"
 #include "util/argparse.hpp"
 #include "util/csv.hpp"
@@ -161,6 +172,15 @@ int main(int argc, char** argv) {
   args.add_int("soak-arrivals", 1000000,
                "synthetic arrivals in the deterministic batching soak", 1000,
                INT_MAX);
+  args.add_int("nodes", 4,
+               "cluster node (chip) instances for the cluster-serving "
+               "section (1 = skip the multi-node comparison, report "
+               "single-node figures)",
+               1, 64);
+  args.add_string("route-policy", "rr",
+                  "routing policy the scaling-efficiency pair runs under "
+                  "(all three are always swept for the per-policy report)",
+                  {"rr", "least-loaded", "affinity"});
   args.parse(argc, argv);
 
   const long threads_flag = args.get_int("threads");
@@ -559,6 +579,151 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
+  // --- Part 7: cluster serving (serve::Cluster) ---------------------------
+  // The same open-loop stream as Part 2, fanned across --nodes full node
+  // instances by each routing policy in turn. Responses must stay
+  // bit-identical to the SAME solo references (routing never touches the
+  // payload); what separates the policies is the fleet-merged tail and the
+  // residency churn. Transport is the hw::HostLink board fabric, so every
+  // request also carries a nonzero modelled front-end hop.
+  const auto num_nodes = static_cast<std::size_t>(args.get_int("nodes"));
+  const std::string route_policy = args.get_string("route-policy");
+  const serve::RoutePolicyKind selected_policy =
+      *serve::parse_route_policy(route_policy);
+
+  // Bursty open-loop traffic (square-wave flash crowds at the same overall
+  // offered load as Part 2): the fleet sees queue-depth contrast, which is
+  // what separates least-loaded/affinity from blind round-robin.
+  workload::BurstShape cluster_burst;
+  cluster_burst.mean_inter_arrival_ticks = mean_inter_arrival_us;
+  cluster_burst.period_ticks = 8.0 * mean_inter_arrival_us;
+  const auto cluster_trace = workload::ArrivalTrace::generate_burst(
+      batch, cluster_burst, kSeed ^ 0x70);
+
+  struct ClusterRun {
+    double wall_s = 0.0;
+    bool identical = true;
+    serve::ClusterStats stats;
+  };
+  const auto run_cluster = [&](serve::RoutePolicyKind policy,
+                               std::size_t nodes) {
+    serve::ClusterOptions copts;
+    copts.num_nodes = nodes;
+    copts.threads_per_node = serve_threads;
+    copts.policy = policy;
+    copts.server = opts;
+    copts.link = hw::HostLink::host_default();
+    copts.stack_depth = num_layers;
+    serve::Cluster cluster(cfg, bert, copts);
+    std::vector<std::future<serve::EncoderResponse>> cfuts;
+    cfuts.reserve(batch);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < batch; ++i) {
+      std::this_thread::sleep_until(
+          t0 + std::chrono::microseconds(
+                   static_cast<long>(cluster_trace.arrival_ticks[i])));
+      cfuts.push_back(cluster.submit(serve::EncoderRequest{
+          inputs[i], kSeed + i, num_layers, num_shards, dataset_of(i)}));
+    }
+    ClusterRun run;
+    for (std::size_t i = 0; i < cfuts.size(); ++i) {
+      run.identical = run.identical &&
+                      nn::Tensor::bit_identical(cfuts[i].get().output,
+                                                solo_refs[i]);
+    }
+    run.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    cluster.shutdown();
+    run.stats = cluster.stats();
+    return run;
+  };
+
+  constexpr serve::RoutePolicyKind kPolicies[] = {
+      serve::RoutePolicyKind::kRoundRobin,
+      serve::RoutePolicyKind::kLeastLoaded,
+      serve::RoutePolicyKind::kAffinity,
+  };
+  std::printf("\nCluster serving (%zu nodes x %d threads, host-link "
+              "transport, %zu requests):\n",
+              num_nodes, serve_threads, batch);
+  ClusterRun policy_runs[3];
+  bool cluster_identical = true;
+  for (int p = 0; p < 3; ++p) {
+    policy_runs[p] = run_cluster(kPolicies[p], num_nodes);
+    const auto& r = policy_runs[p];
+    cluster_identical = cluster_identical && r.identical;
+    std::printf("  %-14s %.1f seq/s, wait p99 %.3f ms, transport mean "
+                "%.3f us, lut misses %llu, imbalance %.2f, bit-identical "
+                "%s\n",
+                serve::to_string(kPolicies[p]),
+                static_cast<double>(batch) / r.wall_s,
+                r.stats.queue_wait_p99_s * 1e3, r.stats.transport_us_mean,
+                static_cast<unsigned long long>(r.stats.lut_misses),
+                r.stats.routing_imbalance, r.identical ? "yes" : "NO (BUG)");
+  }
+  all_identical = all_identical && cluster_identical;
+
+  // Scaling efficiency: the selected policy's N-node run against a 1-node
+  // run of the SAME trace, (tput_N / tput_1) / N. Wall-clock: on a
+  // single-core host this converges to ~1/N — correctness (and the JSON
+  // contract) is still exercised.
+  const int selected_idx = selected_policy == serve::RoutePolicyKind::kRoundRobin
+                               ? 0
+                               : selected_policy == serve::RoutePolicyKind::kLeastLoaded
+                                     ? 1
+                                     : 2;
+  const ClusterRun& selected_run = policy_runs[selected_idx];
+  const ClusterRun solo_node =
+      num_nodes == 1 ? selected_run : run_cluster(selected_policy, 1);
+  all_identical = all_identical && solo_node.identical;
+  const double tput_n = static_cast<double>(batch) / selected_run.wall_s;
+  const double tput_1 = static_cast<double>(batch) / solo_node.wall_s;
+  const double scaling_efficiency =
+      tput_n / (tput_1 * static_cast<double>(num_nodes));
+  std::printf("  scaling           %.1f -> %.1f seq/s at %zu nodes "
+              "(efficiency %.3f, policy %s)\n",
+              tput_1, tput_n, num_nodes, scaling_efficiency,
+              route_policy.c_str());
+
+  // Deterministic residency comparison: a sequential (submit-and-get)
+  // mixed-dataset pass, so routing always sees settled residency state and
+  // the cold-miss counts are exact, CI-assertable numbers: round-robin
+  // smears the two foreign-format datasets (CNEWS, CoLA; MRPC aliases the
+  // default image) across every node, affinity pins each to the node that
+  // already programmed it.
+  const auto sequential_misses = [&](serve::RoutePolicyKind policy) {
+    serve::ClusterOptions copts;
+    copts.num_nodes = num_nodes;
+    copts.threads_per_node = 1;
+    copts.policy = policy;
+    copts.server = opts;
+    copts.stack_depth = num_layers;
+    serve::Cluster cluster(cfg, bert, copts);
+    constexpr workload::Dataset kCycle[] = {workload::Dataset::kCnews,
+                                            workload::Dataset::kMrpc,
+                                            workload::Dataset::kCola};
+    const std::size_t n = 6 * num_nodes;
+    for (std::size_t i = 0; i < n; ++i) {
+      serve::EncoderRequest req{
+          workload::embedding_batch(
+              1, 12, static_cast<std::size_t>(bert.d_model), 1.0,
+              kSeed + 9000 + i)[0],
+          kSeed + 9000 + i, num_layers, num_shards, kCycle[i % 3]};
+      (void)cluster.submit(std::move(req)).get();
+    }
+    cluster.shutdown();
+    return cluster.stats().lut_misses;
+  };
+  const std::uint64_t rr_misses =
+      sequential_misses(serve::RoutePolicyKind::kRoundRobin);
+  const std::uint64_t affinity_misses =
+      sequential_misses(serve::RoutePolicyKind::kAffinity);
+  std::printf("  residency         sequential mixed-dataset pass: "
+              "round-robin %llu cold LUT misses, affinity %llu\n",
+              static_cast<unsigned long long>(rr_misses),
+              static_cast<unsigned long long>(affinity_misses));
+
   std::printf("\nShared immutable model, per-sequence run state; results are "
               "%s across all modes. rows written to "
               "bench_batched_encoder.csv\n",
@@ -594,6 +759,13 @@ int main(int argc, char** argv) {
               "\"soak_bucketed_padded_occupancy\":%.6f,"
               "\"soak_padtomax_wait_p99_ticks\":%.4f,"
               "\"soak_bucketed_wait_p99_ticks\":%.4f,"
+              "\"num_nodes\":%zu,\"route_policy\":\"%s\","
+              "\"scaling_efficiency\":%.4f,\"transport_us\":%.4f,"
+              "\"cluster_wait_p99_ms_rr\":%.4f,"
+              "\"cluster_wait_p99_ms_least_loaded\":%.4f,"
+              "\"cluster_wait_p99_ms_affinity\":%.4f,"
+              "\"cluster_lut_misses_rr\":%llu,"
+              "\"cluster_lut_misses_affinity\":%llu,"
               "\"identical\":%s}\n",
               serve_threads, batch, seq_len,
               static_cast<long long>(stack.num_layers), closed_seq_per_s,
@@ -621,6 +793,13 @@ int main(int argc, char** argv) {
               soak_ptm.stats.padded_occupancy,
               soak_bkt.stats.padded_occupancy,
               soak_ptm.stats.queue_wait_p99_s, soak_bkt.stats.queue_wait_p99_s,
+              num_nodes, route_policy.c_str(), scaling_efficiency,
+              selected_run.stats.transport_us_mean,
+              policy_runs[0].stats.queue_wait_p99_s * 1e3,
+              policy_runs[1].stats.queue_wait_p99_s * 1e3,
+              policy_runs[2].stats.queue_wait_p99_s * 1e3,
+              static_cast<unsigned long long>(rr_misses),
+              static_cast<unsigned long long>(affinity_misses),
               all_identical ? "true" : "false");
   return all_identical ? 0 : 1;
 }

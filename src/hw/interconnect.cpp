@@ -63,4 +63,34 @@ Power HTree::leakage() const {
   return tech_.ge_leakage(repeater_ge);
 }
 
+HostLink::HostLink(Time per_transfer, double bytes_per_s, Energy energy_per_byte)
+    : per_transfer_(per_transfer),
+      bytes_per_s_(bytes_per_s),
+      energy_per_byte_(energy_per_byte) {
+  require(per_transfer >= Time{}, "HostLink: per-transfer latency must be >= 0");
+  require(bytes_per_s >= 0.0, "HostLink: bandwidth must be >= 0");
+  require(energy_per_byte >= Energy{}, "HostLink: energy/byte must be >= 0");
+}
+
+HostLink HostLink::host_default() {
+  return HostLink(Time::us(2.0), 16e9, Energy::pJ(10.0));
+}
+
+Time HostLink::latency(std::uint64_t bytes) const {
+  Time t = per_transfer_;
+  if (bytes_per_s_ > 0.0) {
+    t += Time::s(static_cast<double>(bytes) / bytes_per_s_);
+  }
+  return t;
+}
+
+Energy HostLink::energy(std::uint64_t bytes) const {
+  return energy_per_byte_ * static_cast<double>(bytes);
+}
+
+bool HostLink::is_free() const {
+  return per_transfer_ == Time{} && bytes_per_s_ == 0.0 &&
+         energy_per_byte_ == Energy{};
+}
+
 }  // namespace star::hw

@@ -1,7 +1,11 @@
-// H-tree interconnect model: the on-chip network that carries partial sums
-// and activations between tiles. Backs the per-row system overhead the
-// accelerator models charge (DESIGN.md §4.3) with a structural estimate.
+// Interconnect models: the on-chip H-tree that carries partial sums and
+// activations between tiles (backs the per-row system overhead of
+// DESIGN.md §4.3 with a structural estimate), and the off-chip host link
+// that carries request/response payloads from a serving front end to a
+// chip/node — the explicit transport hop of cluster-scale serving.
 #pragma once
+
+#include <cstdint>
 
 #include "hw/component.hpp"
 #include "hw/tech.hpp"
@@ -37,6 +41,41 @@ class HTree {
   double tile_pitch_um_;
   int levels_;
   double total_wire_um_ = 0.0;
+};
+
+/// The front-end -> node transport hop of a multi-chip serving cluster:
+/// the off-chip link (PCIe/board fabric) a routed request's payload crosses
+/// to reach its node and its response crosses back. Same move as HTree for
+/// the intra-chip network: the hop is an explicit, billable cost instead of
+/// an implicit free wire. A transfer of `bytes` costs
+///     latency = per_transfer + bytes / bandwidth
+///     energy  = bytes * energy_per_byte
+/// and, like the residency/programming model, the bill is ACCOUNTING-ONLY:
+/// the cluster router charges it into RequestStats/ClusterStats without
+/// delaying the simulated payload, so routing stays payload-invariant.
+class HostLink {
+ public:
+  /// Free (zero-cost) link — the legacy "the front end IS the chip" model.
+  HostLink() = default;
+  /// `bytes_per_s` must be positive when any per-byte cost is wanted; a
+  /// default-constructed link is zero-cost.
+  HostLink(Time per_transfer, double bytes_per_s, Energy energy_per_byte);
+
+  /// Representative host fabric: 2 us per transfer, 16 GB/s, 10 pJ/byte.
+  [[nodiscard]] static HostLink host_default();
+
+  /// One direction of `bytes` across the link.
+  [[nodiscard]] Time latency(std::uint64_t bytes) const;
+  [[nodiscard]] Energy energy(std::uint64_t bytes) const;
+
+  [[nodiscard]] Time per_transfer() const { return per_transfer_; }
+  [[nodiscard]] double bytes_per_s() const { return bytes_per_s_; }
+  [[nodiscard]] bool is_free() const;
+
+ private:
+  Time per_transfer_{};
+  double bytes_per_s_ = 0.0;  ///< 0 = infinitely fast wire (no serialisation)
+  Energy energy_per_byte_{};
 };
 
 }  // namespace star::hw

@@ -34,6 +34,15 @@ struct RequestStats {
   double queue_wait_s = 0.0;     ///< admission -> dispatch
   double service_s = 0.0;        ///< dispatch -> completion (compute)
 
+  // Cluster placement: which node (chip instance) served the request
+  // (ServerOptions::node_id — 0 on a standalone server) and the modelled
+  // front-end -> node round-trip transport bill the router charged
+  // (hw::HostLink; 0 when the request was submitted to the node directly).
+  // Transport, like residency, is ACCOUNTING-ONLY: it never delays or
+  // alters the payload.
+  std::uint32_t node = 0;
+  double transport_us = 0.0;
+
   // What the request asked for (mixed-depth / mixed-shard traffic
   // attribution; 0 on request kinds without the knob, e.g. attention).
   std::int64_t num_layers = 0;
@@ -87,6 +96,11 @@ struct EncoderRequest {
   /// the server's residency counters. The payload therefore remains a
   /// function of (input, run_seed, num_layers) under mixed-dataset traffic.
   workload::Dataset dataset = workload::Dataset::kDefault;
+  /// Modelled front-end -> node transport bill, stamped by the cluster
+  /// router before submission (serve::Cluster); leave 0 when submitting to
+  /// a StarServer directly. Echoed into RequestStats.transport_us —
+  /// accounting-only, payload-invariant.
+  double transport_us = 0.0;
 };
 
 struct EncoderResponse {
@@ -97,6 +111,8 @@ struct EncoderResponse {
 struct AttentionRequest {
   workload::QkvTriple qkv;
   std::uint64_t run_seed = kDefaultRunSeed;
+  /// See EncoderRequest::transport_us.
+  double transport_us = 0.0;
 };
 
 struct AttentionResponse {
@@ -106,6 +122,8 @@ struct AttentionResponse {
 
 struct AnalyticRequest {
   std::int64_t seq_len = 0;
+  /// See EncoderRequest::transport_us.
+  double transport_us = 0.0;
 };
 
 struct AnalyticResponse {

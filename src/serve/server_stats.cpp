@@ -87,6 +87,7 @@ void StatsAccumulator::on_done(const RequestStats& rs, bool ok) {
   weight_hits_ += rs.weight_hits;
   weight_misses_ += rs.weight_misses;
   programming_sum_us_ += rs.programming_us;
+  transport_sum_us_ += rs.transport_us;
   const std::uint64_t seen = completed_ + failed_;
   if (queue_wait_s_.size() < kMaxLatencySamples) {
     queue_wait_s_.push_back(rs.queue_wait_s);
@@ -180,6 +181,9 @@ ServerStats StatsAccumulator::snapshot() const {
   s.programming_time_share =
       programming_s > 0.0 ? programming_s / (service_sum_s_ + programming_s)
                           : 0.0;
+  s.transport_us_total = transport_sum_us_;
+  s.transport_us_mean =
+      done == 0 ? 0.0 : transport_sum_us_ / static_cast<double>(done);
   return s;
 }
 

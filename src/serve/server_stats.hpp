@@ -103,6 +103,13 @@ struct ServerStats {
   std::uint64_t weight_misses = 0;
   double programming_us_total = 0.0;
   double programming_time_share = 0.0;
+
+  // Cluster transport over completed + failed requests: the modelled
+  // front-end -> node hop the router billed (hw::HostLink round trip).
+  // Zero on a standalone server — requests submitted directly carry no
+  // transport charge.
+  double transport_us_total = 0.0;
+  double transport_us_mean = 0.0;
 };
 
 /// Mutable accumulator behind ServerStats. NOT internally synchronised:
@@ -137,6 +144,27 @@ class StatsAccumulator {
   void on_done(const RequestStats& rs, bool ok);
 
   [[nodiscard]] ServerStats snapshot() const;
+
+  // Fleet-merge access (serve::Cluster). Percentiles of a MERGED view must
+  // NOT average per-node p99s — a p99 is not linear, and averaging the
+  // quantiles of N skewed nodes can sit far below the fleet's true tail.
+  // Instead the cluster concatenates the nodes' latency reservoirs and
+  // index-selects over the union with serve::percentile. Sampling
+  // semantics of that merge: each node's reservoir is a uniform sample of
+  // THAT node's completions (exact until kMaxLatencySamples, Algorithm R
+  // after), so the concatenation weights node n by
+  // min(node_n_completions, kMaxLatencySamples) rather than by its exact
+  // completion count. Until any node overflows its reservoir the merged
+  // percentile is exact over every fleet completion; past that point it is
+  // an estimate that can under-weight very hot nodes' tails — the same
+  // approximation each node's own p99 already makes, never the
+  // averaging-of-quantiles error.
+  [[nodiscard]] const std::vector<double>& queue_wait_samples() const {
+    return queue_wait_s_;
+  }
+  [[nodiscard]] const std::vector<double>& service_samples() const {
+    return service_s_;
+  }
 
  private:
   /// Per-queue accounting slot (see ServerStats::BucketStats).
@@ -175,6 +203,7 @@ class StatsAccumulator {
   std::uint64_t lut_hits_ = 0, lut_misses_ = 0;
   std::uint64_t weight_hits_ = 0, weight_misses_ = 0;
   double programming_sum_us_ = 0.0;
+  double transport_sum_us_ = 0.0;
   std::vector<double> queue_wait_s_;  ///< reservoir, paired by index
   std::vector<double> service_s_;
   Rng reservoir_rng_{0x57A75E54};

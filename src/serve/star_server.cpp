@@ -57,6 +57,7 @@ std::size_t StarServer::oldest_head_locked() const {
 
 template <typename Response, typename ComputeFn>
 std::future<Response> StarServer::submit_impl(std::int64_t seq_len,
+                                              double transport_us,
                                               ComputeFn compute) {
   auto promise = std::make_shared<std::promise<Response>>();
   std::future<Response> fut = promise->get_future();
@@ -118,7 +119,7 @@ std::future<Response> StarServer::submit_impl(std::int64_t seq_len,
     const std::uint64_t id = p.id;
     const auto enqueued = p.enqueued;
     p.run = [this, promise, compute = std::move(compute), enqueued, id,
-             seq_len](const BatchContext& ctx) {
+             seq_len, transport_us](const BatchContext& ctx) {
       const double queue_wait =
           std::chrono::duration<double>(ctx.dispatched - enqueued).count();
       const auto t0 = Clock::now();
@@ -136,6 +137,8 @@ std::future<Response> StarServer::submit_impl(std::int64_t seq_len,
         resp.stats.seq_len = seq_len;
         resp.stats.padded_len = ctx.padded_len;
         resp.stats.bucket = ctx.bucket;
+        resp.stats.node = opts_.node_id;
+        resp.stats.transport_us = transport_us;
         record_done(resp.stats, /*ok=*/true);
         promise->set_value(std::move(resp));
       } catch (...) {
@@ -150,6 +153,8 @@ std::future<Response> StarServer::submit_impl(std::int64_t seq_len,
         failed.seq_len = seq_len;
         failed.padded_len = ctx.padded_len;
         failed.bucket = ctx.bucket;
+        failed.node = opts_.node_id;
+        failed.transport_us = transport_us;
         record_done(failed, /*ok=*/false);
         promise->set_exception(std::current_exception());
       }
@@ -167,7 +172,9 @@ std::future<Response> StarServer::submit_impl(std::int64_t seq_len,
 
 std::future<EncoderResponse> StarServer::submit(EncoderRequest req) {
   const auto seq_len = static_cast<std::int64_t>(req.input.rows());
-  return submit_impl<EncoderResponse>(seq_len, [this, req = std::move(req)] {
+  const double transport_us = req.transport_us;
+  return submit_impl<EncoderResponse>(seq_len, transport_us,
+                                      [this, req = std::move(req)] {
     EncoderResponse resp;
     core::ResidencyCharge charge;
     resp.output = model_.run_encoder_one(req.input,
@@ -187,7 +194,9 @@ std::future<EncoderResponse> StarServer::submit(EncoderRequest req) {
 
 std::future<AttentionResponse> StarServer::submit(AttentionRequest req) {
   const auto seq_len = static_cast<std::int64_t>(req.qkv.q.rows());
-  return submit_impl<AttentionResponse>(seq_len, [this, req = std::move(req)] {
+  const double transport_us = req.transport_us;
+  return submit_impl<AttentionResponse>(seq_len, transport_us,
+                                        [this, req = std::move(req)] {
     AttentionResponse resp;
     resp.result = model_.run_attention_one(
         req.qkv, workload::sequence_seed(req.run_seed, 0));
@@ -196,7 +205,8 @@ std::future<AttentionResponse> StarServer::submit(AttentionRequest req) {
 }
 
 std::future<AnalyticResponse> StarServer::submit(AnalyticRequest req) {
-  return submit_impl<AnalyticResponse>(req.seq_len, [this, req] {
+  return submit_impl<AnalyticResponse>(req.seq_len, req.transport_us,
+                                       [this, req] {
     AnalyticResponse resp;
     resp.result = model_.run_analytic_one(req.seq_len);
     return resp;
@@ -356,6 +366,11 @@ void StarServer::shutdown() {
       batcher_.join();
     }
   }
+}
+
+StatsAccumulator StarServer::stats_accumulator() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
 }
 
 ServerStats StarServer::stats() const {

@@ -82,6 +82,10 @@ struct ServerOptions {
   std::size_t max_queue = 64;  ///< pending-queue bound (admission control)
   AdmissionPolicy admission = AdmissionPolicy::kBlock;
   BatcherPolicy batcher{};
+  /// Which cluster node this server is (stamped into every
+  /// RequestStats.node). 0 for a standalone server; serve::Cluster numbers
+  /// its nodes 0..N-1.
+  std::uint32_t node_id = 0;
 };
 
 class StarServer {
@@ -113,6 +117,10 @@ class StarServer {
   void shutdown();
 
   [[nodiscard]] ServerStats stats() const;
+  /// Locked copy of the raw accumulator — the cluster's fleet-merge path,
+  /// which needs the latency reservoirs themselves (see the fleet-merge
+  /// notes on StatsAccumulator), not just the snapshot.
+  [[nodiscard]] StatsAccumulator stats_accumulator() const;
   [[nodiscard]] std::size_t pending() const;  ///< queued, not yet dispatched
   [[nodiscard]] const ServerOptions& options() const { return opts_; }
   [[nodiscard]] const core::BatchEncoderSim& model() const { return model_; }
@@ -140,7 +148,8 @@ class StarServer {
   };
 
   template <typename Response, typename ComputeFn>
-  std::future<Response> submit_impl(std::int64_t seq_len, ComputeFn compute);
+  std::future<Response> submit_impl(std::int64_t seq_len, double transport_us,
+                                    ComputeFn compute);
   void batcher_loop();
   void record_done(const RequestStats& rs, bool ok);
   [[nodiscard]] std::size_t pending_locked() const;

@@ -135,4 +135,18 @@ ArrivalTrace ArrivalTrace::generate(std::size_t n, ArrivalProcess process,
   return from_gaps(gaps);
 }
 
+std::vector<ArrivalTrace> split_by_node(const ArrivalTrace& trace,
+                                        const std::vector<std::size_t>& node_of,
+                                        std::size_t num_nodes) {
+  require(num_nodes >= 1, "split_by_node: num_nodes must be >= 1");
+  require(node_of.size() == trace.size(),
+          "split_by_node: node_of must match the trace size");
+  std::vector<ArrivalTrace> per_node(num_nodes);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    require(node_of[i] < num_nodes, "split_by_node: node id out of range");
+    per_node[node_of[i]].arrival_ticks.push_back(trace.arrival_ticks[i]);
+  }
+  return per_node;
+}
+
 }  // namespace star::workload

@@ -98,4 +98,15 @@ struct ArrivalTrace {
   static ArrivalTrace from_gaps(const std::vector<double>& gaps);
 };
 
+/// Fan one front-door trace out across a fleet: arrival i goes to node
+/// `node_of[i]`. Returns the per-node sub-traces, absolute ticks preserved
+/// (each is a strictly increasing subsequence of the input, so every
+/// sub-trace is itself a valid ArrivalTrace). The conservation law — the
+/// sub-trace sizes sum to the input size — holds by construction; the
+/// cluster tests pin it against live routing decisions. `node_of` must
+/// match the trace size with every id < num_nodes.
+std::vector<ArrivalTrace> split_by_node(const ArrivalTrace& trace,
+                                        const std::vector<std::size_t>& node_of,
+                                        std::size_t num_nodes);
+
 }  // namespace star::workload
