@@ -75,6 +75,7 @@
 #include "serve/cluster.hpp"
 #include "serve/star_server.hpp"
 #include "util/argparse.hpp"
+#include "util/contract.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "workload/arrival_trace.hpp"
@@ -766,6 +767,7 @@ int main(int argc, char** argv) {
               "\"cluster_wait_p99_ms_affinity\":%.4f,"
               "\"cluster_lut_misses_rr\":%llu,"
               "\"cluster_lut_misses_affinity\":%llu,"
+              "\"contracts_checked\":%s,\"sanitizer\":\"%s\","
               "\"identical\":%s}\n",
               serve_threads, batch, seq_len,
               static_cast<long long>(stack.num_layers), closed_seq_per_s,
@@ -800,6 +802,10 @@ int main(int argc, char** argv) {
               policy_runs[2].stats.queue_wait_p99_s * 1e3,
               static_cast<unsigned long long>(rr_misses),
               static_cast<unsigned long long>(affinity_misses),
+              // Build-flavor provenance: which correctness tooling was live
+              // when this record was produced (BENCH_<pr>.json archives it).
+              star::contracts_enabled() ? "true" : "false",
+              star::sanitizer_name(),
               all_identical ? "true" : "false");
   return all_identical ? 0 : 1;
 }

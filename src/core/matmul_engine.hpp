@@ -9,6 +9,12 @@
 //  * analytic — latency/energy/area of streaming a B x M activation matrix
 //    against an M x N matrix mapped over the tile grid, used by the
 //    accelerator models (both STAR's and the baselines').
+//
+// Determinism: both faces are pure functions of (config, operands) — the
+// engine holds no per-run mutable state, multiply()/stream_cost() are
+// const, and any stochastic device effects draw from an explicitly seeded
+// star::Rng fixed at construction, so (seed, code-path) reproduces every
+// result bit-for-bit across threads and hosts.
 #pragma once
 
 #include <cstdint>

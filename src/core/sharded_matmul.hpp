@@ -6,7 +6,10 @@
 // grid's whole accumulation network as a flat per-row figure. This layer
 // splits the matmul over K shards via xbar::ShardedMapper, prices each
 // shard with the UNCHANGED base engine, and makes the interconnect
-// explicit:
+// explicit. Determinism: stream_cost() is const and a pure function of
+// (config, shape, K, policy) — K = 1 delegates bit-identically to the
+// monolithic engine, and the K > 1 partial-sum reduce is an exact integer
+// composition, so shard count never perturbs payloads:
 //
 //   latency = max-shard compute + merge fill + per-row flit streaming
 //             (merge fill = merge_levels H-tree traversals, paid once;

@@ -17,6 +17,13 @@
 //
 // The engine is bit-exact (under an ideal device) with the pure-math oracle
 // workload::quantized_softmax; tests enforce the equivalence.
+//
+// Determinism: the engine is shared read-only geometry; every per-run
+// mutable fact (the fault-injection stream, the last-row cost record)
+// lives in a caller-owned SoftmaxRunState whose Rng is explicitly seeded.
+// The const softmax_row()/forward_codes() datapath therefore makes
+// (seed, code-path) reproduce every probability code bit-for-bit no matter
+// how many threads share the engine.
 #pragma once
 
 #include <cstdint>

@@ -5,6 +5,7 @@
 #include <deque>
 #include <limits>
 
+#include "util/contract.hpp"
 #include "util/status.hpp"
 
 namespace star::serve {
@@ -36,6 +37,16 @@ BatchSimResult simulate_batching(const workload::ArrivalTrace& trace,
           "simulate_batching: one seq_len per arrival required");
   for (const std::int64_t len : seq_lens) {
     require(len >= 1, "simulate_batching: seq_lens must be >= 1");
+  }
+  if constexpr (contracts_enabled()) {
+    // The replay's event loop (arrivals admit before equal-tick dispatches,
+    // head age-out windows) assumes the documented ArrivalTrace invariant.
+    // A hand-built trace can violate it; audit before simulating.
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+      STAR_CONTRACT(trace.arrival_ticks[i] > trace.arrival_ticks[i - 1],
+                    "simulate_batching: arrival ticks must be strictly "
+                    "increasing");
+    }
   }
 
   const std::size_t num_queues = cfg.bucketing.num_queues();

@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "util/contract.hpp"
 #include "util/status.hpp"
 #include "workload/dataset_profile.hpp"
 #include "xbar/residency.hpp"
@@ -279,9 +280,27 @@ ClusterStats Cluster::stats() const {
     cs.transport_us_total += s.transport_us_total;
     const std::vector<double>& qw = acc.queue_wait_samples();
     const std::vector<double>& sv = acc.service_samples();
+    // Each node's reservoirs must be index-paired and bounded before they
+    // are merged; a desynced pair would corrupt the fleet percentiles.
+    audit_reservoir_pair(qw, sv, done);
     queue_wait.insert(queue_wait.end(), qw.begin(), qw.end());
     service.insert(service.end(), sv.begin(), sv.end());
     cs.per_node.push_back(std::move(s));
+  }
+  // Reservoir-merge size conservation: the fleet union holds exactly the
+  // sum of the per-node reservoirs — the merge concatenates, never samples,
+  // so the documented weighting (node n contributes min(done_n, kMax)
+  // samples) is preserved and nothing is dropped or duplicated.
+  if constexpr (contracts_enabled()) {
+    std::size_t expected = 0;
+    for (const ServerStats& node_stats : cs.per_node) {
+      expected += static_cast<std::size_t>(
+          std::min<std::uint64_t>(node_stats.completed + node_stats.failed,
+                                  StatsAccumulator::kMaxLatencySamples));
+    }
+    STAR_CONTRACT(queue_wait.size() == expected && service.size() == expected,
+                  "cluster merge: fleet reservoir must conserve per-node "
+                  "sample counts");
   }
   if (done_total > 0) {
     cs.queue_wait_mean_s = queue_wait_sum_s / static_cast<double>(done_total);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/contract.hpp"
 #include "util/status.hpp"
 
 namespace star::serve {
@@ -51,6 +52,14 @@ void StatsAccumulator::on_batch(std::size_t occupancy, std::size_t bucket,
                                 std::uint64_t effective_tokens,
                                 std::uint64_t padded_tokens,
                                 std::uint64_t capacity_tokens) {
+  // Token-ledger balance: a batch's real tokens fit inside its padded
+  // rectangle, which fits inside the bucket's capacity (server_stats.hpp
+  // documents effective <= padded <= capacity as an always-invariant).
+  STAR_CONTRACT(effective_tokens <= padded_tokens,
+                "token ledger: effective tokens exceed the padded rectangle");
+  STAR_CONTRACT(padded_tokens <= capacity_tokens,
+                "token ledger: padded rectangle exceeds bucket capacity");
+  STAR_CONTRACT(occupancy >= 1, "token ledger: a dispatched batch is never empty");
   ++batches_;
   occupancy_sum_ += occupancy;
   occupancy_max_ = std::max(occupancy_max_, occupancy);
@@ -105,7 +114,47 @@ void StatsAccumulator::on_done(const RequestStats& rs, bool ok) {
   }
 }
 
+void audit_reservoir_pair(const std::vector<double>& queue_wait,
+                          const std::vector<double>& service,
+                          std::uint64_t done) {
+  STAR_CONTRACT(queue_wait.size() == service.size(),
+                "latency reservoirs: queue-wait and service must stay "
+                "index-paired (one slot per resolved request)");
+  STAR_CONTRACT(queue_wait.size() <= StatsAccumulator::kMaxLatencySamples,
+                "latency reservoirs: reservoir overflowed its fixed bound");
+  STAR_CONTRACT(queue_wait.size() <= done,
+                "latency reservoirs: more samples than resolved requests");
+}
+
 ServerStats StatsAccumulator::snapshot() const {
+  // Admission-queue conservation at snapshot time (see the ServerStats
+  // docstring): every submit was admitted, rejected, or is still blocked;
+  // every admitted request resolved (completed/failed), was shed, or is
+  // still pending — so the resolved-side sums can never exceed the
+  // upstream counters.
+  STAR_CONTRACT(admitted_ + rejected_ <= submitted_,
+                "admission conservation: admitted + rejected exceed submitted");
+  STAR_CONTRACT(completed_ + failed_ + shed_ <= admitted_,
+                "admission conservation: resolved + shed requests exceed admitted");
+  audit_reservoir_pair(queue_wait_s_, service_s_, completed_ + failed_);
+  if constexpr (contracts_enabled()) {
+    // Bucket-sum conservation: the per-queue ledgers partition the totals
+    // exactly (bucket_slot folds out-of-layout samples into the last slot
+    // precisely so these sums hold unconditionally).
+    std::uint64_t requests = 0, batches = 0, effective = 0, padded = 0;
+    for (const BucketAccum& b : buckets_) {
+      requests += b.requests;
+      batches += b.batches;
+      effective += b.effective_tokens;
+      padded += b.padded_tokens;
+    }
+    STAR_CONTRACT(requests == completed_ + failed_,
+                  "bucket conservation: per-bucket requests must sum to total");
+    STAR_CONTRACT(batches == batches_,
+                  "bucket conservation: per-bucket batches must sum to total");
+    STAR_CONTRACT(effective == effective_tokens_ && padded == padded_tokens_,
+                  "bucket conservation: per-bucket token ledgers must sum to total");
+  }
   ServerStats s;
   s.submitted = submitted_;
   s.admitted = admitted_;

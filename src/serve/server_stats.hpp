@@ -213,4 +213,14 @@ class StatsAccumulator {
 /// via an index buffer, so `samples` itself is neither copied nor reordered.
 double percentile(const std::vector<double>& samples, double p);
 
+/// Contract audit of one accumulator's latency reservoirs (see the
+/// fleet-merge notes above): the queue-wait and service reservoirs are
+/// index-paired (same size — each slot is one request's pair), never exceed
+/// kMaxLatencySamples, and never hold more samples than requests resolved.
+/// Called by StatsAccumulator::snapshot() and per node by Cluster::stats();
+/// a no-op in builds without STAR_CONTRACT (contracts_enabled() == false).
+void audit_reservoir_pair(const std::vector<double>& queue_wait,
+                          const std::vector<double>& service,
+                          std::uint64_t done);
+
 }  // namespace star::serve

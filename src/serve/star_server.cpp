@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/contract.hpp"
 #include "util/status.hpp"
 
 namespace star::serve {
@@ -315,6 +316,11 @@ void StarServer::batcher_loop() {
     }
     const std::int64_t padded_len =
         bucketing.padded_len(dispatch_q, batch_max_len);
+    // The billed slot width covers every member (LengthBucketing routes a
+    // request only to a bucket whose edge fits it), so the token ledger's
+    // effective <= padded holds per batch by construction.
+    STAR_CONTRACT(padded_len >= batch_max_len,
+                  "batcher: billed slot width below the batch's longest member");
     const BatchContext ctx{next_batch_id_++, formed.size(), Clock::now(),
                            padded_len, dispatch_q};
     // Token accounting: `formed.size() * padded_len` billed slots holding

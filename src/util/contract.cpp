@@ -1,0 +1,24 @@
+#include "util/contract.hpp"
+
+#include <string>
+
+namespace star {
+
+const char* sanitizer_name() {
+#if defined(STAR_SANITIZER_NAME)
+  return STAR_SANITIZER_NAME;
+#else
+  return "none";
+#endif
+}
+
+namespace detail {
+
+[[noreturn]] void contract_fail(const char* expr, const char* file, int line,
+                                const std::string& msg) {
+  throw ContractViolation(std::string("STAR_CONTRACT failed: ") + msg + " [" +
+                          expr + "] at " + file + ":" + std::to_string(line));
+}
+
+}  // namespace detail
+}  // namespace star

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "util/contract.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
 
@@ -27,6 +28,10 @@ ArrivalTrace ArrivalTrace::from_gaps(const std::vector<double>& gaps) {
       // double to keep the trace strictly increasing.
       next = std::nextafter(t, std::numeric_limits<double>::infinity());
     }
+    // Post-condition of the nudge above — the documented invariant of
+    // every constructor path: ticks strictly increase.
+    STAR_CONTRACT(trace.arrival_ticks.empty() || next > trace.arrival_ticks.back(),
+                  "ArrivalTrace: ticks must be strictly increasing");
     t = next;
     trace.arrival_ticks.push_back(t);
   }
@@ -145,6 +150,15 @@ std::vector<ArrivalTrace> split_by_node(const ArrivalTrace& trace,
   for (std::size_t i = 0; i < trace.size(); ++i) {
     require(node_of[i] < num_nodes, "split_by_node: node id out of range");
     per_node[node_of[i]].arrival_ticks.push_back(trace.arrival_ticks[i]);
+  }
+  if constexpr (contracts_enabled()) {
+    // Fan-out conservation: every arrival lands on exactly one node.
+    std::size_t total = 0;
+    for (const ArrivalTrace& t : per_node) {
+      total += t.size();
+    }
+    STAR_CONTRACT(total == trace.size(),
+                  "split_by_node: per-node sub-traces must conserve arrivals");
   }
   return per_node;
 }

@@ -1,8 +1,18 @@
 #include "xbar/residency.hpp"
 
+#include "util/contract.hpp"
 #include "util/status.hpp"
 
 namespace star::xbar {
+
+void audit_ledger(const ResidencyStats& stats) {
+  STAR_CONTRACT(stats.hits + stats.misses == stats.lookups,
+                "residency ledger: hits + misses must equal lookups");
+  STAR_CONTRACT(stats.lut_hits + stats.weight_hits == stats.hits,
+                "residency ledger: per-kind hits must partition total hits");
+  STAR_CONTRACT(stats.lut_misses + stats.weight_misses == stats.misses,
+                "residency ledger: per-kind misses must partition total misses");
+}
 
 ImageKey weight_image_key(std::uint64_t tensor_id) {
   return ImageKey{ImageKind::kWeight, tensor_id};
@@ -60,6 +70,12 @@ ResidencyOutcome ResidencyManager::acquire(
   stats_.programming += out.charged;
   out.evictions = insert_and_evict_locked(key);
   stats_.evictions += out.evictions;
+  // Cache-structure invariants after every install: the LRU list and the
+  // index describe the same image set, within the configured fabric size.
+  STAR_CONTRACT(index_.size() == lru_.size(),
+                "residency cache: index and LRU list diverged");
+  STAR_CONTRACT(capacity_ == 0 || index_.size() <= capacity_,
+                "residency cache: resident images exceed fabric capacity");
   return out;
 }
 
@@ -91,6 +107,7 @@ std::size_t ResidencyManager::size() const {
 
 ResidencyStats ResidencyManager::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
+  audit_ledger(stats_);
   return stats_;
 }
 

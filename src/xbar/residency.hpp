@@ -93,6 +93,13 @@ struct ResidencyStats {
   hw::ProgramCost programming{};
 };
 
+/// Contract audit of one residency ledger: every lookup was exactly a hit
+/// or a miss, and the per-kind (LUT vs weight) splits partition the totals.
+/// ResidencyManager::stats() audits its own ledger through this on every
+/// read; exposed so tests can prove the contract fires on a forged ledger.
+/// A no-op in builds without STAR_CONTRACT (contracts_enabled() == false).
+void audit_ledger(const ResidencyStats& stats);
+
 /// LRU cache of programmed device images. `capacity` is the number of
 /// images the fabric can hold at once; 0 means unbounded (enough tiles are
 /// provisioned for everything ever touched — the legacy assumption).

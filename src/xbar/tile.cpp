@@ -33,9 +33,10 @@ Power XbarTile::leakage() const {
 
 Energy XbarTile::op_energy(int active_rows) const {
   const auto& cfg = vmm_.config();
-  const double in_words = ceil_div(active_rows * cfg.input_bits, 64);
-  const double out_words =
-      ceil_div(vmm_.logical_cols() * (cfg.input_bits + cfg.weight_bits), 64);
+  const auto in_words =
+      static_cast<double>(ceil_div(active_rows * cfg.input_bits, 64));
+  const auto out_words = static_cast<double>(
+      ceil_div(vmm_.logical_cols() * (cfg.input_bits + cfg.weight_bits), 64));
   return vmm_.op_energy(active_rows) + in_buf_.cost().energy_per_op * in_words +
          out_buf_.cost().energy_per_op * out_words;
 }

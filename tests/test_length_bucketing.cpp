@@ -178,6 +178,10 @@ TEST(LengthBucketingStats, PerBucketSumsEqualTotals) {
   serve::RequestStats rs;
   rs.seq_len = 10;
   for (std::size_t q = 0; q < 3; ++q) {
+    // Keep the admission ledger balanced: the Debug-build STAR_CONTRACT
+    // audit in snapshot() rejects resolutions that were never admitted.
+    acc.on_submitted();
+    acc.on_admitted();
     rs.bucket = q;
     acc.on_done(rs, true);
   }

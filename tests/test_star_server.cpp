@@ -461,6 +461,116 @@ TEST(StarServer, RequestStatsDescribeBatchPlacement) {
   }
 }
 
+// ---------- percentile / StatsAccumulator edge cases ----------
+
+TEST(Percentile, EmptyReservoirIsZeroAtEveryP) {
+  const std::vector<double> none;
+  EXPECT_EQ(serve::percentile(none, 0.0), 0.0);
+  EXPECT_EQ(serve::percentile(none, 0.5), 0.0);
+  EXPECT_EQ(serve::percentile(none, 0.99), 0.0);
+  EXPECT_EQ(serve::percentile(none, 1.0), 0.0);
+}
+
+TEST(Percentile, SingleSampleIsEveryQuantile) {
+  const std::vector<double> one = {42.5};
+  EXPECT_EQ(serve::percentile(one, 0.0), 42.5);
+  EXPECT_EQ(serve::percentile(one, 0.5), 42.5);
+  EXPECT_EQ(serve::percentile(one, 1.0), 42.5);
+}
+
+TEST(Percentile, EndpointsAreMinAndMax) {
+  // Deliberately unsorted: selection must not depend on input order.
+  const std::vector<double> s = {5.0, 1.0, 9.0, 3.0, 7.0};
+  EXPECT_EQ(serve::percentile(s, 0.0), 1.0);
+  EXPECT_EQ(serve::percentile(s, 1.0), 9.0);
+}
+
+TEST(Percentile, NearestRankOnKnownSet) {
+  // n = 10 samples 1..10: nearest-rank index = ceil(p * 10) - 1.
+  std::vector<double> s = {10, 3, 7, 1, 9, 4, 6, 2, 8, 5};
+  EXPECT_EQ(serve::percentile(s, 0.5), 5.0);    // ceil(5) - 1 = idx 4
+  EXPECT_EQ(serve::percentile(s, 0.99), 10.0);  // ceil(9.9) - 1 = idx 9
+  EXPECT_EQ(serve::percentile(s, 0.11), 2.0);   // ceil(1.1) - 1 = idx 1
+}
+
+TEST(Percentile, DoesNotReorderTheReservoir) {
+  const std::vector<double> original = {5.0, 1.0, 9.0, 3.0};
+  std::vector<double> s = original;
+  (void)serve::percentile(s, 0.5);
+  EXPECT_EQ(s, original);
+}
+
+TEST(Percentile, OutOfRangePThrows) {
+  const std::vector<double> s = {1.0, 2.0};
+  EXPECT_THROW((void)serve::percentile(s, -0.01), InvalidArgument);
+  EXPECT_THROW((void)serve::percentile(s, 1.01), InvalidArgument);
+}
+
+TEST(StatsAccumulator, FreshSnapshotIsAllZeros) {
+  serve::StatsAccumulator acc;
+  const auto snap = acc.snapshot();
+  EXPECT_EQ(snap.submitted, 0u);
+  EXPECT_EQ(snap.completed, 0u);
+  EXPECT_EQ(snap.batches, 0u);
+  // Every derived ratio must come out 0, not NaN, on the empty ledger.
+  EXPECT_EQ(snap.queue_wait_mean_s, 0.0);
+  EXPECT_EQ(snap.queue_wait_p99_s, 0.0);
+  EXPECT_EQ(snap.service_p99_s, 0.0);
+  EXPECT_EQ(snap.batch_occupancy_mean, 0.0);
+  EXPECT_EQ(snap.padded_occupancy, 0.0);
+  EXPECT_EQ(snap.effective_occupancy, 0.0);
+  EXPECT_EQ(snap.padding_waste, 0.0);
+  EXPECT_EQ(snap.seq_len_mean, 0.0);
+  EXPECT_EQ(snap.programming_time_share, 0.0);
+}
+
+TEST(StatsAccumulator, SingleRequestIsItsOwnDistribution) {
+  serve::StatsAccumulator acc;
+  acc.on_submitted();
+  acc.on_admitted();
+  acc.on_batch(/*occupancy=*/1, /*bucket=*/0, /*effective=*/6, /*padded=*/8,
+               /*capacity=*/16);
+  serve::RequestStats rs;
+  rs.queue_wait_s = 0.25;
+  rs.service_s = 1.5;
+  rs.seq_len = 6;
+  acc.on_done(rs, /*ok=*/true);
+  const auto snap = acc.snapshot();
+  EXPECT_EQ(snap.completed, 1u);
+  // With one sample, mean == p99 == the sample for both phases.
+  EXPECT_DOUBLE_EQ(snap.queue_wait_mean_s, 0.25);
+  EXPECT_DOUBLE_EQ(snap.queue_wait_p99_s, 0.25);
+  EXPECT_DOUBLE_EQ(snap.service_mean_s, 1.5);
+  EXPECT_DOUBLE_EQ(snap.service_p99_s, 1.5);
+  EXPECT_DOUBLE_EQ(snap.seq_len_mean, 6.0);
+  // Token ledger: 6 effective of 8 padded of 16 capacity.
+  EXPECT_DOUBLE_EQ(snap.padded_occupancy, 0.5);
+  EXPECT_DOUBLE_EQ(snap.effective_occupancy, 6.0 / 16.0);
+  EXPECT_DOUBLE_EQ(snap.padding_waste, 1.0 - 6.0 / 8.0);
+}
+
+TEST(StatsAccumulator, BatchOnlyLedgerHasNoLatencies) {
+  // Batches dispatched but nothing resolved yet (requests in flight):
+  // occupancy accounting is live, latency distributions still empty.
+  serve::StatsAccumulator acc;
+  acc.on_submitted();
+  acc.on_admitted();
+  acc.on_batch(/*occupancy=*/3, /*bucket=*/0, /*effective=*/12, /*padded=*/24,
+               /*capacity=*/32);
+  const auto snap = acc.snapshot();
+  EXPECT_EQ(snap.batches, 1u);
+  EXPECT_DOUBLE_EQ(snap.batch_occupancy_mean, 3.0);
+  EXPECT_EQ(snap.batch_occupancy_max, 3u);
+  EXPECT_EQ(snap.completed, 0u);
+  EXPECT_EQ(snap.queue_wait_p99_s, 0.0);
+  EXPECT_EQ(snap.service_p99_s, 0.0);
+}
+
+TEST(StatsAccumulator, ConfigureBucketsRejectsEmptyLayout) {
+  serve::StatsAccumulator acc;
+  EXPECT_THROW(acc.configure_buckets({}), InvalidArgument);
+}
+
 // ---------- invalid configuration ----------
 
 TEST(StarServer, RejectsInvalidOptions) {
