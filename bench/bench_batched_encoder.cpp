@@ -1,9 +1,10 @@
 // Batched encoder throughput, closed-loop and served.
 //
 // Part 1 (closed batch): B independent sequences through one encoder layer
-// (STAR crossbar softmax) via the closed-batch shim, reporting seq/s vs.
-// thread count and verifying byte-identity against the sequential
-// reference — the determinism contract of sim::BatchScheduler.
+// (STAR crossbar softmax) composed from run_encoder_one under the
+// documented per-sequence seed rule, reporting seq/s vs. thread count and
+// verifying byte-identity against the sequential reference — the
+// determinism contract of sim::BatchScheduler.
 //
 // Part 2 (server mode): the same sequences submitted individually to
 // serve::StarServer along a seeded open-loop arrival trace (Poisson
@@ -52,9 +53,19 @@
 // sequential mixed-dataset pass that pins the affinity-vs-round-robin cold
 // LUT-miss comparison (the number CI asserts on).
 //
+// Part 8 (analytic cost cache): the serve hot path's steady state — the
+// same few padded lengths looked up over and over. --analytic-requests
+// analytic requests drawn from the length histogram run twice: once
+// through the raw per-request analytic composition (stream_cost +
+// softmax-preload math, no memo table) and once through run_analytic_one,
+// which serves steady-state repeats from core::CostCache. Reports both
+// req/s figures, the cache speedup and the hit/miss ledger, then re-runs
+// the bucketed virtual-time soak with the STAR-calibrated (cached) service
+// model so the hit rate is exercised at 10^6-lookup scale.
+//
 // Flags (see --help): --threads, --batch, --seqlen, --layers, --shards,
 // --mixed-datasets, --residency-cap, --length-dist, --buckets,
-// --soak-arrivals, --nodes, --route-policy.
+// --soak-arrivals, --nodes, --route-policy, --analytic-requests, --csv.
 // The last stdout line is a one-line JSON summary for BENCH_*.json
 // tracking, validated by CI (`tail -n 1 | python3 -m json.tool`).
 // Wall-clock speedup tracks the physical cores of the host (a
@@ -80,6 +91,7 @@
 #include "util/table.hpp"
 #include "workload/arrival_trace.hpp"
 #include "workload/dataset_profile.hpp"
+#include "workload/trace_gen.hpp"
 
 namespace {
 
@@ -88,6 +100,32 @@ double run_seconds(const std::function<void()>& fn) {
   fn();
   const auto t1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Closed batch via the documented composition rule: batch index i runs
+// with engine seed workload::sequence_seed(run_seed, i) (what the retired
+// run_*_batch shims did).
+std::vector<star::nn::Tensor> encoder_batch(
+    const star::core::BatchEncoderSim& model,
+    const std::vector<star::nn::Tensor>& inputs,
+    star::sim::BatchScheduler& sched, std::uint64_t run_seed,
+    std::int64_t num_layers, std::int64_t num_shards) {
+  return sched.map<star::nn::Tensor>(inputs.size(), [&](std::size_t i) {
+    return model.run_encoder_one(inputs[i],
+                                 star::workload::sequence_seed(run_seed, i),
+                                 num_layers, num_shards);
+  });
+}
+
+// The CSV lands next to the binary (the build tree), never the source
+// tree; --csv overrides.
+std::string default_csv_path(const char* argv0) {
+  std::string path(argv0 != nullptr ? argv0 : "");
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return "bench_batched_encoder.csv";
+  }
+  return path.substr(0, slash + 1) + "bench_batched_encoder.csv";
 }
 
 bool byte_identical(const std::vector<star::nn::Tensor>& a,
@@ -182,6 +220,12 @@ int main(int argc, char** argv) {
                   "routing policy the scaling-efficiency pair runs under "
                   "(all three are always swept for the per-policy report)",
                   {"rr", "least-loaded", "affinity"});
+  args.add_int("analytic-requests", 20000,
+               "requests in the analytic cost-cache measurement loops", 1000,
+               INT_MAX);
+  args.add_string("csv", "",
+                  "CSV output path (default: bench_batched_encoder.csv next "
+                  "to the binary)");
   args.parse(argc, argv);
 
   const long threads_flag = args.get_int("threads");
@@ -255,9 +299,9 @@ int main(int argc, char** argv) {
   // steady-state against steady-state.
   sim::BatchScheduler seq_sched(1);
   std::vector<nn::Tensor> reference;
-  reference = model.run_encoder_batch(inputs, seq_sched, 0x5EED, num_layers, num_shards);
+  reference = encoder_batch(model, inputs, seq_sched, 0x5EED, num_layers, num_shards);
   const double t_seq = run_seconds([&] {
-    reference = model.run_encoder_batch(inputs, seq_sched, 0x5EED, num_layers, num_shards);
+    reference = encoder_batch(model, inputs, seq_sched, 0x5EED, num_layers, num_shards);
   });
 
   const std::vector<int> thread_sweep =
@@ -270,7 +314,10 @@ int main(int argc, char** argv) {
       threads_flag > 0 ? static_cast<int>(threads_flag) : 4;
 
   TablePrinter table({"threads", "time (ms)", "seq/s", "speedup", "bit-identical"});
-  CsvWriter csv("bench_batched_encoder.csv");
+  const std::string csv_path = args.get_string("csv").empty()
+                                   ? default_csv_path(argv[0])
+                                   : args.get_string("csv");
+  CsvWriter csv(csv_path);
   csv.header({"threads", "time_ms", "seq_per_s", "speedup", "identical"});
 
   bool all_identical = true;
@@ -279,9 +326,9 @@ int main(int argc, char** argv) {
     sim::BatchScheduler sched(threads);
     std::vector<nn::Tensor> out;
     // Warm-up run so pool spin-up is not billed to the measurement.
-    out = model.run_encoder_batch(inputs, sched, 0x5EED, num_layers, num_shards);
+    out = encoder_batch(model, inputs, sched, 0x5EED, num_layers, num_shards);
     const double t = run_seconds(
-        [&] { out = model.run_encoder_batch(inputs, sched, 0x5EED, num_layers, num_shards); });
+        [&] { out = encoder_batch(model, inputs, sched, 0x5EED, num_layers, num_shards); });
     const bool identical = byte_identical(out, reference);
     all_identical = all_identical && identical;
     const double seq_per_s = static_cast<double>(batch) / t;
@@ -311,9 +358,9 @@ int main(int argc, char** argv) {
   std::vector<nn::Tensor> solo_refs;
   solo_refs.reserve(batch);
   for (std::size_t i = 0; i < batch; ++i) {
-    const nn::Tensor one[] = {inputs[i]};
-    solo_refs.push_back(std::move(
-        model.run_encoder_batch(one, seq_sched, kSeed + i, num_layers, num_shards)[0]));
+    solo_refs.push_back(model.run_encoder_one(
+        inputs[i], workload::sequence_seed(kSeed + i, 0), num_layers,
+        num_shards));
   }
 
   // Scope the residency-manager counters to the serve run: parts 1 and the
@@ -480,9 +527,9 @@ int main(int argc, char** argv) {
       var_inputs.push_back(workload::embedding_batch(
           1, static_cast<std::size_t>(lens[i]),
           static_cast<std::size_t>(bert.d_model), 1.0, kSeed + 7000 + i)[0]);
-      const nn::Tensor one[] = {var_inputs.back()};
-      var_refs.push_back(std::move(model.run_encoder_batch(
-          one, seq_sched, kSeed + 7000 + i, num_layers, num_shards)[0]));
+      var_refs.push_back(model.run_encoder_one(
+          var_inputs.back(), workload::sequence_seed(kSeed + 7000 + i, 0),
+          num_layers, num_shards));
     }
     const auto var_trace = workload::ArrivalTrace::generate(
         batch, workload::ArrivalProcess::kPoisson, mean_inter_arrival_us,
@@ -725,10 +772,77 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(rr_misses),
               static_cast<unsigned long long>(affinity_misses));
 
+  // --- Part 8: memoized analytic cost cache -------------------------------
+  // The serve hot path's steady state: the same few (config, seq_len)
+  // shapes looked up over and over. Uncached baseline = the raw analytic
+  // composition (MatmulEngine::stream_cost + softmax preload math) per
+  // request; cached = run_analytic_one, which serves repeats from
+  // core::CostCache. Identical request stream, so the speedup is pure
+  // memoization. Note: under -DSTAR_AUDIT=ON every cache hit re-runs the
+  // full composition to prove bit-identity, so the cached figure is only a
+  // *throughput* claim when contracts_checked is false (CI gates on that).
+  const auto analytic_requests =
+      static_cast<std::size_t>(args.get_int("analytic-requests"));
+  const auto analytic_lens = workload::sample_lengths(
+      length_hist, analytic_requests, kSeed ^ 0xCAC4E);
+  const double t_uncached = run_seconds([&] {
+    for (const std::int64_t len : analytic_lens) {
+      (void)model.accelerator().run_attention_layer(bert, len);
+    }
+  });
+  // Scope the ledger to the measured loop so hit_rate is the steady-state
+  // figure (mirrors the residency reset_stats() scoping above).
+  model.cost_cache().reset_stats();
+  const double t_cached = run_seconds([&] {
+    for (const std::int64_t len : analytic_lens) {
+      (void)model.run_analytic_one(len);
+    }
+  });
+  const auto cache_stats = model.cost_cache().stats();
+  const double analytic_uncached_rps =
+      static_cast<double>(analytic_requests) / t_uncached;
+  const double analytic_cached_rps =
+      static_cast<double>(analytic_requests) / t_cached;
+  const double analytic_cache_speedup = t_uncached / t_cached;
+
+  // Cache soak: the bucketed virtual-time replay re-run with the
+  // STAR-calibrated (cached) service model — ~10^6 padded-length lookups
+  // against a handful of distinct keys. The linear-model soaks above are
+  // untouched, so their waste figures stay comparable across records;
+  // ticks_per_us is normalized so the mean service cost matches the linear
+  // model's at the histogram mean (same backlog regime).
+  serve::BatchSimConfig cache_soak_cfg = bkt_cfg;
+  cache_soak_cfg.analytic_model = &model;
+  const auto mean_len = static_cast<std::int64_t>(length_hist.mean_len());
+  cache_soak_cfg.analytic_ticks_per_us =
+      soak_cfg.ticks_per_token * static_cast<double>(mean_len) /
+      model.run_analytic_one(mean_len).latency.as_us();
+  model.cost_cache().reset_stats();
+  const auto soak_cache =
+      serve::simulate_batching(soak_trace, soak_lens, cache_soak_cfg);
+  const auto soak_cache_stats = model.cost_cache().stats();
+
+  std::printf("\nAnalytic cost cache (%zu requests, dist=%s):\n",
+              analytic_requests, length_dist.c_str());
+  std::printf("  uncached          %.0f req/s (fresh composition per "
+              "request)\n",
+              analytic_uncached_rps);
+  std::printf("  cached            %.0f req/s (speedup %.2fx), %llu hits / "
+              "%llu misses, hit rate %.4f\n",
+              analytic_cached_rps, analytic_cache_speedup,
+              static_cast<unsigned long long>(cache_stats.hits),
+              static_cast<unsigned long long>(cache_stats.misses),
+              cache_stats.hit_rate());
+  std::printf("  soak (calibrated) %llu lookups, hit rate %.6f, waste %.3f, "
+              "util %.3f\n",
+              static_cast<unsigned long long>(soak_cache_stats.lookups),
+              soak_cache_stats.hit_rate(), soak_cache.stats.padding_waste,
+              soak_cache.utilization);
+
   std::printf("\nShared immutable model, per-sequence run state; results are "
-              "%s across all modes. rows written to "
-              "bench_batched_encoder.csv\n",
-              all_identical ? "byte-identical" : "NOT IDENTICAL (BUG)");
+              "%s across all modes. rows written to %s\n",
+              all_identical ? "byte-identical" : "NOT IDENTICAL (BUG)",
+              csv_path.c_str());
 
   // Machine-readable one-line summary (last line of stdout).
   std::printf("{\"bench\":\"bench_batched_encoder\",\"threads\":%d,"
@@ -767,6 +881,12 @@ int main(int argc, char** argv) {
               "\"cluster_wait_p99_ms_affinity\":%.4f,"
               "\"cluster_lut_misses_rr\":%llu,"
               "\"cluster_lut_misses_affinity\":%llu,"
+              "\"analytic_requests\":%zu,"
+              "\"analytic_uncached_rps\":%.2f,"
+              "\"analytic_cached_rps\":%.2f,"
+              "\"analytic_cache_speedup\":%.4f,"
+              "\"cost_cache_hits\":%llu,\"cost_cache_misses\":%llu,"
+              "\"cache_hit_rate\":%.6f,\"soak_cache_hit_rate\":%.6f,"
               "\"contracts_checked\":%s,\"sanitizer\":\"%s\","
               "\"identical\":%s}\n",
               serve_threads, batch, seq_len,
@@ -802,6 +922,11 @@ int main(int argc, char** argv) {
               policy_runs[2].stats.queue_wait_p99_s * 1e3,
               static_cast<unsigned long long>(rr_misses),
               static_cast<unsigned long long>(affinity_misses),
+              analytic_requests, analytic_uncached_rps, analytic_cached_rps,
+              analytic_cache_speedup,
+              static_cast<unsigned long long>(cache_stats.hits),
+              static_cast<unsigned long long>(cache_stats.misses),
+              cache_stats.hit_rate(), soak_cache_stats.hit_rate(),
               // Build-flavor provenance: which correctness tooling was live
               // when this record was produced (BENCH_<pr>.json archives it).
               star::contracts_enabled() ? "true" : "false",

@@ -16,10 +16,13 @@
 // workload::sequence_seed(run_seed, i) — the (i+1)-th raw draw of
 // Rng(run_seed). The serving front end gives every request its own
 // `run_seed` and executes it with sequence_seed(run_seed, 0), i.e. exactly
-// the engine seed of a solo run_*_batch({one input}, sched, run_seed) call.
+// the engine seed of a solo single-sequence batch under that run_seed.
 // That single rule is what makes a server response bit-identical to a solo
 // closed-batch run and keeps fault-injection streams (cam_miss_prob > 0)
-// reproducible across both APIs.
+// reproducible across both APIs. Closed-batch callers map run_*_one over
+// workload::sequence_seeds(n, run_seed) themselves (the deprecated
+// run_*_batch shims that used to do it are retired; the composition rule
+// above IS the contract, pinned by tests/test_batch_scheduler.cpp).
 #pragma once
 
 #include <array>
@@ -28,6 +31,7 @@
 #include <vector>
 
 #include "core/accelerator.hpp"
+#include "core/cost_cache.hpp"
 #include "core/functional_attention.hpp"
 #include "nn/bert.hpp"
 #include "sim/batch_scheduler.hpp"
@@ -116,32 +120,27 @@ class BatchEncoderSim {
       const workload::QkvTriple& qkv, std::uint64_t engine_seed) const;
 
   /// Analytic path: latency/energy/power of one attention layer at this
-  /// sequence length.
-  [[nodiscard]] AttentionRunResult run_analytic_one(std::int64_t seq_len) const;
+  /// sequence length — the serve hot path, served from the memoized
+  /// CostCache (see core/cost_cache.hpp).
+  ///
+  /// `dataset` names the softmax CAM/LUT image the analytic request needs
+  /// resident; like the functional path it is acquired from the per-sim
+  /// ResidencyManager FIRST, any miss charges programming cost into
+  /// `*charge` (pass nullptr to discard), and the cost lookup keys on the
+  /// warm/cold state the request found. A warm request (the steady state;
+  /// always true for kDefault, installed at construction) composes a zero
+  /// charge, so its result is bit-identical to the legacy uncached call —
+  /// audited per cache hit under -DSTAR_AUDIT=ON. A cold request's
+  /// programming bill is composed into latency/energy (the same convention
+  /// as EncoderRunResult) and is never memoized.
+  [[nodiscard]] AttentionRunResult run_analytic_one(
+      std::int64_t seq_len,
+      workload::Dataset dataset = workload::Dataset::kDefault,
+      ResidencyCharge* charge = nullptr) const;
 
-  // --- closed-batch calls (deprecated shims) ---
-  //
-  // Thin wrappers mapping run_*_one over a span with
-  // workload::sequence_seeds(n, run_seed). Prefer serve::StarServer, which
-  // admits, coalesces and dispatches individual requests dynamically; these
-  // remain for existing tests/benches and simple closed-loop studies.
-
-  /// Deprecated shim: out[i] = run_encoder_one(inputs[i], seeds[i],
-  /// num_layers, num_shards) with seeds[i] = workload::sequence_seed(run_seed, i).
-  [[nodiscard]] std::vector<nn::Tensor> run_encoder_batch(
-      std::span<const nn::Tensor> inputs, sim::BatchScheduler& sched,
-      std::uint64_t run_seed = 0x5EED, std::int64_t num_layers = 1,
-      std::int64_t num_shards = 1) const;
-
-  /// Deprecated shim: out[i] = run_attention_one(qkv[i], seeds[i]).
-  [[nodiscard]] std::vector<FunctionalAttentionResult> run_attention_batch(
-      std::span<const workload::QkvTriple> qkv, sim::BatchScheduler& sched,
-      std::uint64_t run_seed = 0x5EED) const;
-
-  /// Deprecated shim: out[i] = run_analytic_one(seq_lens[i]); lengths may
-  /// differ across the batch.
-  [[nodiscard]] std::vector<AttentionRunResult> run_analytic_batch(
-      std::span<const std::int64_t> seq_lens, sim::BatchScheduler& sched) const;
+  // The deprecated run_*_batch shims are retired: closed-batch callers map
+  // run_*_one over workload::sequence_seeds(n, run_seed) directly (see the
+  // seed-derivation rule in the file comment).
 
   [[nodiscard]] const StarConfig& config() const { return accel_.config(); }
   [[nodiscard]] const nn::BertConfig& bert() const { return bert_; }
@@ -182,6 +181,14 @@ class BatchEncoderSim {
   /// the monolithic write port — see run_encoder_one's accounting notes).
   [[nodiscard]] hw::ProgramCost layer_weight_cost() const;
 
+  // --- analytic cost cache ---
+  /// The memoized analytic cost table behind run_analytic_one (per-run
+  /// mutable state behind the const compute entry points, internally
+  /// synchronized like residency()). Exposed for stats surfacing
+  /// (ServerStats/ClusterStats cost_cache_* fields), bench scoping
+  /// (reset_stats()) and invalidation.
+  [[nodiscard]] CostCache& cost_cache() const { return cost_cache_; }
+
  private:
   [[nodiscard]] ResidencyCharge touch_residency(std::int64_t num_layers,
                                                 workload::Dataset dataset) const;
@@ -197,6 +204,11 @@ class BatchEncoderSim {
   /// Mutable: run_*_one are const (shared model, per-run state), and the
   /// residency manager IS per-run mutable state — internally synchronised.
   mutable xbar::ResidencyManager residency_;
+  /// Model identity for CostKey.fingerprint, precomputed once (bert_ and
+  /// the config are fixed at construction).
+  std::uint64_t cost_fingerprint_ = 0;
+  /// Same mutability story as residency_: the memo table is per-run state.
+  mutable CostCache cost_cache_;
 };
 
 }  // namespace star::core

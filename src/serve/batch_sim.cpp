@@ -5,6 +5,7 @@
 #include <deque>
 #include <limits>
 
+#include "core/batch_encoder.hpp"
 #include "util/contract.hpp"
 #include "util/status.hpp"
 
@@ -16,6 +17,8 @@ void BatchSimConfig::validate() const {
           "BatchSimConfig: batch_overhead_ticks must be finite and >= 0");
   require(std::isfinite(ticks_per_token) && ticks_per_token >= 0.0,
           "BatchSimConfig: ticks_per_token must be finite and >= 0");
+  require(std::isfinite(analytic_ticks_per_us) && analytic_ticks_per_us > 0.0,
+          "BatchSimConfig: analytic_ticks_per_us must be finite and > 0");
   bucketing.validate();
 }
 
@@ -146,10 +149,17 @@ BatchSimResult simulate_batching(const workload::ArrivalTrace& trace,
 
     const std::int64_t padded_len =
         cfg.bucketing.padded_len(best_q, batch_max_len);
+    // STAR-calibrated service when an analytic model is attached (cached —
+    // repeated padded lengths are O(1) CostCache hits), linear token proxy
+    // otherwise.
+    const double marginal =
+        cfg.analytic_model != nullptr
+            ? cfg.analytic_ticks_per_us *
+                  cfg.analytic_model->run_analytic_one(padded_len)
+                      .latency.as_us()
+            : cfg.ticks_per_token * static_cast<double>(padded_len);
     const double service =
-        cfg.batch_overhead_ticks +
-        cfg.ticks_per_token * static_cast<double>(take) *
-            static_cast<double>(padded_len);
+        cfg.batch_overhead_ticks + static_cast<double>(take) * marginal;
     const double finish = best_dispatch + service;
 
     acc.on_batch(take, best_q, static_cast<std::uint64_t>(effective),

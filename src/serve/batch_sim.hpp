@@ -33,6 +33,10 @@
 #include "serve/server_stats.hpp"
 #include "workload/arrival_trace.hpp"
 
+namespace star::core {
+class BatchEncoderSim;
+}  // namespace star::core
+
 namespace star::serve {
 
 /// The batcher policy + analytic service model of one simulated server.
@@ -45,6 +49,22 @@ struct BatchSimConfig {
   /// Marginal cost (ticks) of one BILLED token-slot: a batch of B requests
   /// padded to P tokens serves in overhead + ticks_per_token * B * P.
   double ticks_per_token = 0.01;
+
+  /// Optional STAR-calibrated service model. When non-null, a dispatch's
+  /// marginal cost is the accelerator's own analytic latency at the billed
+  /// padded length instead of the linear per-token proxy:
+  ///     service = overhead + take * analytic_ticks_per_us
+  ///                               * run_analytic_one(padded_len).latency_us
+  /// The model is shared, not copied; it must outlive the simulation.
+  /// Because the replay hits the same few padded lengths millions of times,
+  /// this leg runs almost entirely out of the model's memoized CostCache —
+  /// the soak that pins cache_hit_rate > 0.99 in BENCH_9. Still
+  /// deterministic: run_analytic_one is a pure analytic figure and the
+  /// steady-state record is residency-independent.
+  const core::BatchEncoderSim* analytic_model = nullptr;
+  /// Virtual-ticks per microsecond of modelled accelerator latency (scales
+  /// the analytic service into the trace's tick domain).
+  double analytic_ticks_per_us = 1.0;
 
   void validate() const;
 };

@@ -221,8 +221,8 @@ std::future<AnalyticResponse> Cluster::submit(AnalyticRequest req) {
   // not a tensor transfer.
   constexpr std::uint64_t kAnalyticRequestBytes = 16;
   constexpr std::uint64_t kAnalyticResponseBytes = 128;
-  const RouteDecision d = route_and_bill(
-      workload::Dataset::kDefault, kAnalyticRequestBytes, kAnalyticResponseBytes);
+  const RouteDecision d = route_and_bill(req.dataset, kAnalyticRequestBytes,
+                                         kAnalyticResponseBytes);
   req.transport_us = d.transport_us;
   return nodes_[d.node].server->submit(std::move(req));
 }
@@ -257,6 +257,19 @@ ClusterStats Cluster::stats() const {
     // from the same instant, or the merged p99 could mix epochs.
     const StatsAccumulator acc = node.server->stats_accumulator();
     ServerStats s = acc.snapshot();
+    // Overlay the node model's analytic cost-cache ledger (chip-local, one
+    // cache per node) and sum it into the fleet totals.
+    const core::CostCacheStats cc = node.model->cost_cache().stats();
+    core::audit_cost_ledger(cc);
+    s.cost_cache_lookups = cc.lookups;
+    s.cost_cache_hits = cc.hits;
+    s.cost_cache_misses = cc.misses;
+    s.cost_cache_bypasses = cc.bypasses;
+    s.cost_cache_hit_rate = cc.hit_rate();
+    cs.cost_cache_lookups += cc.lookups;
+    cs.cost_cache_hits += cc.hits;
+    cs.cost_cache_misses += cc.misses;
+    cs.cost_cache_bypasses += cc.bypasses;
     const std::uint64_t done = s.completed + s.failed;
     done_total += done;
     cs.submitted += s.submitted;
@@ -325,6 +338,10 @@ ClusterStats Cluster::stats() const {
   if (cs.padded_tokens > 0) {
     cs.padding_waste = 1.0 - static_cast<double>(cs.effective_tokens) /
                                  static_cast<double>(cs.padded_tokens);
+  }
+  if (cs.cost_cache_lookups > 0) {
+    cs.cost_cache_hit_rate = static_cast<double>(cs.cost_cache_hits) /
+                             static_cast<double>(cs.cost_cache_lookups);
   }
   {
     std::lock_guard<std::mutex> lk(route_mu_);

@@ -170,6 +170,15 @@ struct ClusterStats {
   double transport_us_mean = 0.0;
   double transport_energy_uj_total = 0.0;
 
+  // Fleet analytic cost-cache ledger: sums of the per-node model caches
+  // (one core::CostCache per node — caches are chip-local, like residency).
+  // hit_rate = fleet hits / fleet lookups.
+  std::uint64_t cost_cache_lookups = 0;
+  std::uint64_t cost_cache_hits = 0;
+  std::uint64_t cost_cache_misses = 0;
+  std::uint64_t cost_cache_bypasses = 0;
+  double cost_cache_hit_rate = 0.0;
+
   // Router view: how many submits each node received and how uneven that
   // is (max node share / mean share; 1.0 = perfectly even, 0 when empty).
   std::vector<std::uint64_t> routed_per_node;

@@ -122,6 +122,16 @@ struct AttentionResponse {
 
 struct AnalyticRequest {
   std::int64_t seq_len = 0;
+  /// The dataset whose softmax CAM/LUT image the analytic request needs
+  /// resident (see EncoderRequest::dataset — same accounting-only
+  /// semantics). A non-resident image charges its programming bill into
+  /// the response's latency/energy (the EncoderRunResult composition
+  /// convention) and RequestStats; the steady-state warm result is
+  /// bit-identical to the pre-dataset analytic path and is served from the
+  /// model's memoized CostCache. As with encoder programming charges,
+  /// WHICH request of a concurrent burst pays a shared cold miss is
+  /// interleaving-dependent; totals across a trace are deterministic.
+  workload::Dataset dataset = workload::Dataset::kDefault;
   /// See EncoderRequest::transport_us.
   double transport_us = 0.0;
 };

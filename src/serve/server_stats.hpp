@@ -110,6 +110,18 @@ struct ServerStats {
   // transport charge.
   double transport_us_total = 0.0;
   double transport_us_mean = 0.0;
+
+  // Memoized analytic cost cache (core::CostCache) of the model behind
+  // this server, snapshotted by StarServer::stats() at the same instant as
+  // the accumulator copy. Model-lifetime counters (the model may predate
+  // and outlive the server); conservation: lookups == hits + misses +
+  // bypasses (bypasses = cold-keyed lookups, computed fresh by design —
+  // see core/cost_cache.hpp). hit_rate = hits / lookups.
+  std::uint64_t cost_cache_lookups = 0;
+  std::uint64_t cost_cache_hits = 0;
+  std::uint64_t cost_cache_misses = 0;
+  std::uint64_t cost_cache_bypasses = 0;
+  double cost_cache_hit_rate = 0.0;
 };
 
 /// Mutable accumulator behind ServerStats. NOT internally synchronised:

@@ -209,13 +209,21 @@ std::future<AnalyticResponse> StarServer::submit(AnalyticRequest req) {
   return submit_impl<AnalyticResponse>(req.seq_len, req.transport_us,
                                        [this, req] {
     AnalyticResponse resp;
-    resp.result = model_.run_analytic_one(req.seq_len);
+    core::ResidencyCharge charge;
+    resp.result = model_.run_analytic_one(req.seq_len, req.dataset, &charge);
+    resp.stats.programming_us = charge.programming.latency.as_us();
+    resp.stats.lut_hits = charge.lut_hits;
+    resp.stats.lut_misses = charge.lut_misses;
     return resp;
   });
 }
 
 void StarServer::batcher_loop() {
   const LengthBucketing& bucketing = opts_.batcher.bucketing;
+  // Reused across dispatches (cleared, capacity kept): forming a batch on
+  // the steady-state path allocates nothing once capacity reaches the
+  // largest formed batch.
+  std::vector<Pending> formed;
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
     batcher_cv_.wait(lk, [&] { return stopping_ || pending_locked() > 0; });
@@ -302,7 +310,7 @@ void StarServer::batcher_loop() {
     }
 
     std::deque<Pending>& queue = queues_[dispatch_q];
-    std::vector<Pending> formed;
+    formed.clear();
     const std::size_t take = std::min(
         queue.size(), bucketing.max_batch_for(dispatch_q, opts_.batcher.max_batch));
     formed.reserve(take);
@@ -388,7 +396,18 @@ ServerStats StarServer::stats() const {
     std::lock_guard<std::mutex> lk(mu_);
     copy = stats_;
   }
-  return copy.snapshot();
+  ServerStats s = copy.snapshot();
+  // Overlay the model's analytic cost-cache ledger (internally
+  // synchronized; model-lifetime counters — see the ServerStats field
+  // docs). Audited here so every stats() poll re-proves conservation.
+  const core::CostCacheStats cc = model_.cost_cache().stats();
+  core::audit_cost_ledger(cc);
+  s.cost_cache_lookups = cc.lookups;
+  s.cost_cache_hits = cc.hits;
+  s.cost_cache_misses = cc.misses;
+  s.cost_cache_bypasses = cc.bypasses;
+  s.cost_cache_hit_rate = cc.hit_rate();
+  return s;
 }
 
 std::size_t StarServer::pending() const {

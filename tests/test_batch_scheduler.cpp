@@ -33,6 +33,43 @@ bool byte_identical(const std::vector<nn::Tensor>& a,
   return true;
 }
 
+// Closed-batch composition helpers: map run_*_one over the documented
+// per-sequence seed rule (engine seed of batch index i is
+// workload::sequence_seed(run_seed, i)). This composition IS the contract
+// the retired run_*_batch shims implemented; the tests below pin it.
+
+std::vector<nn::Tensor> encoder_batch(const core::BatchEncoderSim& model,
+                                      const std::vector<nn::Tensor>& inputs,
+                                      sim::BatchScheduler& sched,
+                                      std::uint64_t run_seed = 0x5EED,
+                                      std::int64_t num_layers = 1,
+                                      std::int64_t num_shards = 1) {
+  return sched.map<nn::Tensor>(inputs.size(), [&](std::size_t i) {
+    return model.run_encoder_one(inputs[i],
+                                 workload::sequence_seed(run_seed, i),
+                                 num_layers, num_shards);
+  });
+}
+
+std::vector<core::FunctionalAttentionResult> attention_batch(
+    const core::BatchEncoderSim& model,
+    const std::vector<workload::QkvTriple>& qkv, sim::BatchScheduler& sched,
+    std::uint64_t run_seed = 0x5EED) {
+  return sched.map<core::FunctionalAttentionResult>(
+      qkv.size(), [&](std::size_t i) {
+        return model.run_attention_one(qkv[i],
+                                       workload::sequence_seed(run_seed, i));
+      });
+}
+
+std::vector<core::AttentionRunResult> analytic_batch(
+    const core::BatchEncoderSim& model, const std::vector<std::int64_t>& lens,
+    sim::BatchScheduler& sched) {
+  return sched.map<core::AttentionRunResult>(lens.size(), [&](std::size_t i) {
+    return model.run_analytic_one(lens[i]);
+  });
+}
+
 // ---------- scheduler mechanics ----------
 
 TEST(BatchScheduler, RunsEveryJobExactlyOnce) {
@@ -131,7 +168,7 @@ TEST(BatchEncoder, BatchedEqualsSequentialBitExact) {
   }
 
   sim::BatchScheduler sched(4);
-  const auto batched = model.run_encoder_batch(inputs, sched);
+  const auto batched = encoder_batch(model, inputs, sched);
   EXPECT_TRUE(byte_identical(batched, reference));
 }
 
@@ -142,11 +179,11 @@ TEST(BatchEncoder, DeterministicForAnyThreadCount) {
       5, 10, static_cast<std::size_t>(bert.d_model), 1.0, 7);
 
   sim::BatchScheduler one(1);
-  const auto reference = model.run_encoder_batch(inputs, one);
+  const auto reference = encoder_batch(model, inputs, one);
   for (const int threads : {2, 3, 5, 8}) {
     sim::BatchScheduler sched(threads);
     for (int repeat = 0; repeat < 3; ++repeat) {
-      const auto out = model.run_encoder_batch(inputs, sched);
+      const auto out = encoder_batch(model, inputs, sched);
       EXPECT_TRUE(byte_identical(out, reference));
     }
   }
@@ -158,7 +195,7 @@ TEST(BatchEncoder, AttentionBatchMatchesSequential) {
 
   const auto seeds = workload::sequence_seeds(qkv.size(), 0x5EED);
   sim::BatchScheduler sched(3);
-  const auto batched = model.run_attention_batch(qkv, sched);
+  const auto batched = attention_batch(model, qkv, sched);
   ASSERT_EQ(batched.size(), qkv.size());
   for (std::size_t i = 0; i < qkv.size(); ++i) {
     core::SoftmaxRunState run(seeds[i]);
@@ -177,7 +214,7 @@ TEST(BatchEncoder, AnalyticBatchMatchesDirectRuns) {
   const std::vector<std::int64_t> lens = {32, 64, 128, 256, 64, 32};
 
   sim::BatchScheduler sched(4);
-  const auto batched = model.run_analytic_batch(lens, sched);
+  const auto batched = analytic_batch(model, lens, sched);
   ASSERT_EQ(batched.size(), lens.size());
   for (std::size_t i = 0; i < lens.size(); ++i) {
     const auto direct = model.accelerator().run_attention_layer(bert, lens[i]);
@@ -199,20 +236,20 @@ TEST(BatchEncoder, FaultInjectionStreamsArePerSequence) {
       4, 8, static_cast<std::size_t>(bert.d_model), 1.0, 21);
 
   sim::BatchScheduler one(1);
-  const auto reference = model.run_encoder_batch(inputs, one);
+  const auto reference = encoder_batch(model, inputs, one);
   for (const int threads : {2, 7}) {
     sim::BatchScheduler sched(threads);
-    EXPECT_TRUE(byte_identical(model.run_encoder_batch(inputs, sched), reference));
+    EXPECT_TRUE(byte_identical(encoder_batch(model, inputs, sched), reference));
   }
 }
 
-TEST(BatchEncoder, ShimSeedDerivationMatchesRunOneRule) {
-  // Regression lock on the documented seed-derivation rule: every deprecated
-  // run_*_batch shim must execute batch index i with engine seed
-  // workload::sequence_seed(run_seed, i) — exactly what a caller composing
-  // run_*_one by hand (or serve::StarServer with index 0) would use. Fault
-  // injection is on so seed drift shows up as a payload difference, not
-  // just silently re-seeded noise.
+TEST(BatchEncoder, CompositionRuleMatchesRunOneRule) {
+  // Regression lock on the documented seed-derivation rule: a closed batch
+  // composed through the scheduler must execute batch index i with engine
+  // seed workload::sequence_seed(run_seed, i) — exactly what a caller
+  // running run_*_one solo (or serve::StarServer with index 0) would use,
+  // independent of thread placement. Fault injection is on so seed drift
+  // shows up as a payload difference, not just silently re-seeded noise.
   core::StarConfig cfg = tiny_cfg();
   cfg.cam_miss_prob = 0.02;
   const nn::BertConfig bert = nn::BertConfig::tiny();
@@ -224,7 +261,7 @@ TEST(BatchEncoder, ShimSeedDerivationMatchesRunOneRule) {
       5, 9, static_cast<std::size_t>(bert.d_model), 1.0, 0xC0FFEE);
   for (const std::int64_t num_layers : {std::int64_t{1}, std::int64_t{2}}) {
     const auto batched =
-        model.run_encoder_batch(inputs, sched, run_seed, num_layers);
+        encoder_batch(model, inputs, sched, run_seed, num_layers);
     ASSERT_EQ(batched.size(), inputs.size());
     for (std::size_t i = 0; i < inputs.size(); ++i) {
       const auto one = model.run_encoder_one(
@@ -235,7 +272,7 @@ TEST(BatchEncoder, ShimSeedDerivationMatchesRunOneRule) {
   }
 
   const auto qkv = workload::qkv_batch(4, 8, 16, 2.0, 0xF00D);
-  const auto attn_batched = model.run_attention_batch(qkv, sched, run_seed);
+  const auto attn_batched = attention_batch(model, qkv, sched, run_seed);
   ASSERT_EQ(attn_batched.size(), qkv.size());
   for (std::size_t i = 0; i < qkv.size(); ++i) {
     const auto one =
@@ -263,10 +300,10 @@ TEST_P(BatchSweep, BatchedEqualsSequentialEverywhere) {
       0xABC + static_cast<std::uint64_t>(batch * 1000 + seq_len));
 
   sim::BatchScheduler one(1);
-  const auto reference = model.run_encoder_batch(inputs, one);
+  const auto reference = encoder_batch(model, inputs, one);
 
   sim::BatchScheduler sched(threads);
-  EXPECT_TRUE(byte_identical(model.run_encoder_batch(inputs, sched), reference));
+  EXPECT_TRUE(byte_identical(encoder_batch(model, inputs, sched), reference));
 }
 
 INSTANTIATE_TEST_SUITE_P(Shapes, BatchSweep,

@@ -61,10 +61,9 @@ nn::Tensor input_of_len(std::size_t seq_len, std::uint64_t seed) {
 }
 
 nn::Tensor solo_reference(const nn::Tensor& input, std::uint64_t run_seed) {
-  sim::BatchScheduler solo(1);
-  const nn::Tensor one[] = {input};
-  auto out = reference_model().run_encoder_batch(one, solo, run_seed);
-  return std::move(out[0]);
+  // The serving seed rule: a solo run is batch index 0 of run_seed.
+  return reference_model().run_encoder_one(
+      input, workload::sequence_seed(run_seed, 0));
 }
 
 serve::ClusterOptions cluster_opts(std::size_t nodes, int threads,

@@ -1,0 +1,329 @@
+// core::CostCache: the memoized analytic cost table on the serve hot path.
+//
+// The central claim under test is the determinism contract of
+// core/cost_cache.hpp: a cached lookup is bit-identical to a fresh
+// analytic compute for every key, the hit/miss ledger obeys its
+// conservation law (lookups == hits + misses + bypasses), cold residency
+// transients bypass the table, and invalidation actually drops entries.
+// The concurrent suite runs the batcher-pool shape under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "core/batch_encoder.hpp"
+#include "core/cost_cache.hpp"
+#include "core/encoder_model.hpp"
+#include "core/encoder_stack.hpp"
+#include "serve/batch_sim.hpp"
+#include "serve/cluster.hpp"
+#include "serve/star_server.hpp"
+#include "sim/batch_scheduler.hpp"
+#include "util/contract.hpp"
+#include "workload/arrival_trace.hpp"
+#include "workload/dataset_profile.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace star {
+namespace {
+
+using core::BatchEncoderSim;
+using core::CostCacheStats;
+
+const nn::BertConfig kBert = nn::BertConfig::tiny();
+
+core::StarConfig tiny_cfg(int num_shards = 1) {
+  core::StarConfig cfg;
+  cfg.max_seq_len = 256;
+  cfg.num_shards = num_shards;
+  return cfg;
+}
+
+// ---------- ledger ----------
+
+TEST(CostCache, LedgerConservationAndReset) {
+  const BatchEncoderSim model(tiny_cfg(), kBert);
+  const std::vector<std::int64_t> lens = {16, 32, 16, 64, 32, 16, 128, 64};
+  const std::set<std::int64_t> distinct(lens.begin(), lens.end());
+
+  model.cost_cache().reset_stats();
+  for (const std::int64_t len : lens) {
+    (void)model.run_analytic_one(len);
+  }
+  const CostCacheStats stats = model.cost_cache().stats();
+  EXPECT_EQ(stats.lookups, lens.size());
+  EXPECT_EQ(stats.misses, distinct.size());
+  EXPECT_EQ(stats.hits, lens.size() - distinct.size());
+  EXPECT_EQ(stats.bypasses, 0u);
+  EXPECT_NO_THROW(core::audit_cost_ledger(stats));
+  EXPECT_DOUBLE_EQ(stats.hit_rate(),
+                   static_cast<double>(stats.hits) /
+                       static_cast<double>(stats.lookups));
+
+  // reset_stats zeroes the ledger but keeps the entries: the next lookup
+  // of a seen length is a hit on a one-lookup ledger.
+  model.cost_cache().reset_stats();
+  EXPECT_EQ(model.cost_cache().stats().lookups, 0u);
+  EXPECT_DOUBLE_EQ(model.cost_cache().stats().hit_rate(), 0.0);
+  (void)model.run_analytic_one(lens.front());
+  EXPECT_EQ(model.cost_cache().stats().hits, 1u);
+  EXPECT_EQ(model.cost_cache().stats().misses, 0u);
+}
+
+TEST(CostCache, ForgedLedgerTripsAudit) {
+  CostCacheStats forged;
+  forged.lookups = 5;
+  forged.hits = 1;
+  forged.misses = 1;
+  forged.bypasses = 1;  // 1 + 1 + 1 != 5
+  if (contracts_enabled()) {
+    EXPECT_THROW(core::audit_cost_ledger(forged), ContractViolation);
+  } else {
+    EXPECT_NO_THROW(core::audit_cost_ledger(forged));
+  }
+}
+
+// ---------- bit-identity: cached vs fresh ----------
+
+TEST(CostCache, AnalyticCachedBitIdenticalToFreshAcrossShardSweep) {
+  for (const int num_shards : {1, 2, 4}) {
+    const BatchEncoderSim model(tiny_cfg(num_shards), kBert);
+    for (const std::int64_t len : {8, 16, 32, 64, 128}) {
+      // First call populates, the repeats hit; every one must equal a
+      // fresh uncached compute bit-for-bit.
+      const auto fresh = model.accelerator().run_attention_layer(kBert, len);
+      for (int repeat = 0; repeat < 3; ++repeat) {
+        const auto cached = model.run_analytic_one(len);
+        EXPECT_TRUE(core::bit_identical(cached, fresh))
+            << "shards " << num_shards << " len " << len << " repeat "
+            << repeat;
+      }
+    }
+    const CostCacheStats stats = model.cost_cache().stats();
+    EXPECT_EQ(stats.misses, 5u);
+    EXPECT_EQ(stats.hits, 10u);
+    EXPECT_NO_THROW(core::audit_cost_ledger(stats));
+  }
+}
+
+TEST(CostCache, EncoderLayerCachedBitIdenticalAcrossSweep) {
+  for (const int num_shards : {1, 4}) {
+    const core::EncoderModel model(tiny_cfg(num_shards));
+    for (const std::int64_t len : {8, 32, 96}) {
+      const auto first = model.run_encoder_layer(kBert, len);
+      const auto hit = model.run_encoder_layer(kBert, len);
+      EXPECT_TRUE(core::bit_identical(hit, first))
+          << "shards " << num_shards << " len " << len;
+    }
+    EXPECT_EQ(model.cost_cache().stats().misses, 3u);
+    EXPECT_EQ(model.cost_cache().stats().hits, 3u);
+    EXPECT_EQ(model.cost_cache().size(), 3u);
+  }
+}
+
+TEST(CostCache, EncoderStackServedFromLayerCacheAcrossDepths) {
+  const core::EncoderStackModel model(tiny_cfg());
+  for (const std::int64_t depth : {1, 2, 4}) {
+    const auto first = model.run_encoder_stack(kBert, 24, depth);
+    const auto again = model.run_encoder_stack(kBert, 24, depth);
+    // The cached per-layer record and the recomputed stack composition on
+    // top must reproduce exactly.
+    EXPECT_TRUE(core::bit_identical(again.layer, first.layer)) << depth;
+    EXPECT_EQ(again.latency.as_s(), first.latency.as_s()) << depth;
+    EXPECT_EQ(again.energy.as_J(), first.energy.as_J()) << depth;
+    EXPECT_EQ(again.stack_speedup, first.stack_speedup) << depth;
+  }
+  // One seq_len, so one miss total: every later stack call (any depth)
+  // hits the same per-layer entry.
+  const CostCacheStats stats = model.layer_model().cost_cache().stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_GE(stats.hits, 5u);
+}
+
+// ---------- warm/cold keying and invalidation ----------
+
+TEST(CostCache, ColdLookupsBypassAndInvalidationFlushesEntries) {
+  const BatchEncoderSim model(tiny_cfg(), kBert);
+  constexpr std::int64_t kLen = 40;
+  constexpr auto kForeign = workload::Dataset::kCnews;
+  model.cost_cache().reset_stats();
+
+  // 1) Foreign-format image not resident yet: a cold transient. Counted
+  //    as a bypass, never inserted, and the programming bill is composed
+  //    into the result.
+  core::ResidencyCharge charge;
+  const auto cold = model.run_analytic_one(kLen, kForeign, &charge);
+  EXPECT_EQ(model.cost_cache().stats().bypasses, 1u);
+  EXPECT_EQ(model.cost_cache().size(), 0u);
+  EXPECT_EQ(charge.lut_misses, 1u);
+  EXPECT_GT(charge.programming.latency.as_s(), 0.0);
+
+  // 2) Image now resident: warm lookups populate then hit, bit-identical
+  //    to the fresh pure compute (the steady state charges nothing).
+  const auto fresh = model.accelerator().run_attention_layer(kBert, kLen);
+  const auto warm = model.run_analytic_one(kLen, kForeign, &charge);
+  EXPECT_EQ(charge.lut_hits, 1u);
+  EXPECT_EQ(charge.programming.latency.as_s(), 0.0);
+  EXPECT_TRUE(core::bit_identical(warm, fresh));
+  EXPECT_GT(cold.latency.as_s(), warm.latency.as_s());
+  const auto warm_hit = model.run_analytic_one(kLen, kForeign, nullptr);
+  EXPECT_TRUE(core::bit_identical(warm_hit, fresh));
+  EXPECT_EQ(model.cost_cache().stats().misses, 1u);
+  EXPECT_EQ(model.cost_cache().stats().hits, 1u);
+
+  // 3) The invalidation rule: a residency flush pairs with a cache flush.
+  //    Entries drop, the next lookup is cold again, and once re-warmed the
+  //    table repopulates with the same record.
+  model.residency().invalidate_all();
+  model.cost_cache().invalidate();
+  EXPECT_EQ(model.cost_cache().size(), 0u);
+  EXPECT_EQ(model.cost_cache().stats().invalidations, 1u);
+  (void)model.run_analytic_one(kLen, kForeign, &charge);
+  EXPECT_EQ(charge.lut_misses, 1u);
+  const auto rewarmed = model.run_analytic_one(kLen, kForeign, nullptr);
+  EXPECT_TRUE(core::bit_identical(rewarmed, fresh));
+
+  const CostCacheStats stats = model.cost_cache().stats();
+  EXPECT_EQ(stats.lookups, 5u);
+  EXPECT_EQ(stats.bypasses, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_NO_THROW(core::audit_cost_ledger(stats));
+}
+
+TEST(CostCache, DistinctShapesGetDistinctEntries) {
+  // seq_len, num_shards and the model fingerprint all key the table: two
+  // models with different shard provisioning never share records, and
+  // within one model every distinct length is its own miss.
+  const BatchEncoderSim mono(tiny_cfg(1), kBert);
+  const BatchEncoderSim sharded(tiny_cfg(4), kBert);
+  const auto a = mono.run_analytic_one(32);
+  const auto b = sharded.run_analytic_one(32);
+  EXPECT_FALSE(core::bit_identical(a, b));  // different shard composition
+  EXPECT_NE(core::cost_fingerprint(mono.config(), mono.accelerator().overheads(),
+                                   kBert),
+            core::cost_fingerprint(sharded.config(),
+                                   sharded.accelerator().overheads(), kBert));
+  (void)mono.run_analytic_one(33);
+  EXPECT_EQ(mono.cost_cache().size(), 2u);
+}
+
+// ---------- concurrency (run under TSan in CI) ----------
+
+TEST(CostCache, ConcurrentLookupsAreCleanAndDeterministic) {
+  const BatchEncoderSim model(tiny_cfg(), kBert);
+  constexpr std::size_t kRequests = 256;
+  const std::vector<std::int64_t> pool = {8, 16, 24, 32, 48, 64, 96, 128};
+  std::vector<std::int64_t> lens(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    lens[i] = pool[i % pool.size()];
+  }
+  model.cost_cache().reset_stats();
+
+  sim::BatchScheduler sched(8);
+  const auto results = sched.map<core::AttentionRunResult>(
+      kRequests, [&](std::size_t i) { return model.run_analytic_one(lens[i]); });
+
+  for (const std::int64_t len : pool) {
+    const auto fresh = model.accelerator().run_attention_layer(kBert, len);
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      if (lens[i] == len) {
+        EXPECT_TRUE(core::bit_identical(results[i], fresh)) << "index " << i;
+      }
+    }
+  }
+  // Miss-side compute runs under the lock, so the miss count equals the
+  // number of distinct warm keys for EVERY thread interleaving.
+  const CostCacheStats stats = model.cost_cache().stats();
+  EXPECT_EQ(stats.lookups, kRequests);
+  EXPECT_EQ(stats.misses, pool.size());
+  EXPECT_EQ(stats.hits, kRequests - pool.size());
+  EXPECT_EQ(stats.bypasses, 0u);
+  EXPECT_NO_THROW(core::audit_cost_ledger(stats));
+}
+
+// ---------- batch-sim analytic service model ----------
+
+TEST(CostCache, BatchSimAnalyticServiceModelDeterministicAndCached) {
+  const BatchEncoderSim model(tiny_cfg(), kBert);
+  const auto hist =
+      workload::length_histogram_for(workload::Dataset::kDefault);
+  constexpr std::size_t kArrivals = 2000;
+  const auto lens = workload::sample_lengths(hist, kArrivals, 0xCAC4E);
+  workload::BurstShape burst;
+  burst.mean_inter_arrival_ticks = 1.0;
+  const auto trace =
+      workload::ArrivalTrace::generate_burst(kArrivals, burst, 0xBA7C4ED);
+
+  serve::BatchSimConfig cfg;
+  cfg.analytic_model = &model;
+  cfg.analytic_ticks_per_us = 0.5;
+  model.cost_cache().reset_stats();
+  const auto first = serve::simulate_batching(trace, lens, cfg);
+  const auto again = serve::simulate_batching(trace, lens, cfg);
+  EXPECT_EQ(first.stats.batches, again.stats.batches);
+  EXPECT_EQ(first.makespan_ticks, again.makespan_ticks);
+  EXPECT_EQ(first.busy_ticks, again.busy_ticks);
+  EXPECT_GT(first.busy_ticks, 0.0);
+
+  // One lookup per dispatched batch against a handful of padded lengths:
+  // the steady state is nearly all hits.
+  const CostCacheStats stats = model.cost_cache().stats();
+  EXPECT_EQ(stats.lookups, first.stats.batches + again.stats.batches);
+  EXPECT_EQ(stats.bypasses, 0u);
+  EXPECT_GT(stats.hit_rate(), 0.9);
+}
+
+// ---------- stats surfacing through the serve layer ----------
+
+TEST(CostCache, ServerSnapshotsModelCacheLedger) {
+  const BatchEncoderSim model(tiny_cfg(), kBert);
+  model.cost_cache().reset_stats();
+  sim::BatchScheduler sched(2);
+  serve::StarServer server(model, sched);
+  std::vector<std::future<serve::AnalyticResponse>> futs;
+  for (int i = 0; i < 12; ++i) {
+    futs.push_back(server.submit(serve::AnalyticRequest{48}));
+  }
+  for (auto& fut : futs) {
+    (void)fut.get();
+  }
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cost_cache_lookups, 12u);
+  EXPECT_EQ(stats.cost_cache_misses, 1u);
+  EXPECT_EQ(stats.cost_cache_hits, 11u);
+  EXPECT_EQ(stats.cost_cache_bypasses, 0u);
+  EXPECT_DOUBLE_EQ(stats.cost_cache_hit_rate, 11.0 / 12.0);
+  server.shutdown();
+}
+
+TEST(CostCache, ClusterSumsPerNodeCacheLedgers) {
+  serve::ClusterOptions opts;
+  opts.num_nodes = 2;
+  opts.threads_per_node = 1;
+  opts.policy = serve::RoutePolicyKind::kRoundRobin;
+  serve::Cluster cluster(tiny_cfg(), kBert, opts);
+  std::vector<std::future<serve::AnalyticResponse>> futs;
+  for (int i = 0; i < 8; ++i) {
+    futs.push_back(cluster.submit(serve::AnalyticRequest{32}));
+  }
+  for (auto& fut : futs) {
+    (void)fut.get();
+  }
+  cluster.shutdown();
+  const serve::ClusterStats stats = cluster.stats();
+  std::uint64_t per_node_lookups = 0;
+  for (const serve::ServerStats& node : stats.per_node) {
+    per_node_lookups += node.cost_cache_lookups;
+  }
+  EXPECT_EQ(stats.cost_cache_lookups, per_node_lookups);
+  EXPECT_EQ(stats.cost_cache_lookups, 8u);
+  // Round-robin over 2 nodes with one length: each node misses once.
+  EXPECT_EQ(stats.cost_cache_misses, 2u);
+  EXPECT_EQ(stats.cost_cache_hits, 6u);
+  EXPECT_DOUBLE_EQ(stats.cost_cache_hit_rate, 6.0 / 8.0);
+}
+
+}  // namespace
+}  // namespace star

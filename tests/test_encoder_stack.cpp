@@ -241,16 +241,24 @@ TEST(EncoderStackFunctional, NumLayersOutOfRangeThrows) {
   EXPECT_THROW(core::BatchEncoderSim(tiny_cfg(), kTiny, 1, 0), InvalidArgument);
 }
 
-TEST(EncoderStackFunctional, BatchShimChainsLayersDeterministically) {
+TEST(EncoderStackFunctional, ClosedBatchChainsLayersDeterministically) {
   const core::BatchEncoderSim model(tiny_cfg(), kTiny, 0xB127, /*stack_depth=*/4);
   const auto inputs = workload::embedding_batch(
       5, 9, static_cast<std::size_t>(kTiny.d_model), 1.0, 0x44);
+  // Closed batch via the documented composition rule: index i runs with
+  // seed workload::sequence_seed(run_seed, i).
+  const auto run_batch = [&](sim::BatchScheduler& sched) {
+    return sched.map<nn::Tensor>(inputs.size(), [&](std::size_t i) {
+      return model.run_encoder_one(inputs[i],
+                                   workload::sequence_seed(0x5EED, i), 4);
+    });
+  };
 
   sim::BatchScheduler one(1);
-  const auto reference = model.run_encoder_batch(inputs, one, 0x5EED, 4);
+  const auto reference = run_batch(one);
   for (const int threads : {2, 5}) {
     sim::BatchScheduler sched(threads);
-    const auto out = model.run_encoder_batch(inputs, sched, 0x5EED, 4);
+    const auto out = run_batch(sched);
     ASSERT_EQ(out.size(), reference.size());
     for (std::size_t i = 0; i < out.size(); ++i) {
       EXPECT_TRUE(nn::Tensor::bit_identical(out[i], reference[i]))

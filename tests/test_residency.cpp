@@ -450,11 +450,10 @@ TEST_P(MixedDatasetServe, PayloadsIdenticalAndAccountingConserved) {
   const BatchEncoderSim model(tiny_cfg(), kBert, 0xB127, kLayers);
   const auto inputs = test_inputs(kRequests, 0xD5);
 
-  sim::BatchScheduler solo(1);
   std::vector<nn::Tensor> refs;
   for (std::size_t i = 0; i < kRequests; ++i) {
-    const nn::Tensor one[] = {inputs[i]};
-    refs.push_back(model.run_encoder_batch(one, solo, 0x900D + i, kLayers)[0]);
+    refs.push_back(model.run_encoder_one(
+        inputs[i], workload::sequence_seed(0x900D + i, 0), kLayers));
   }
 
   constexpr Dataset kCycle[] = {Dataset::kCnews, Dataset::kMrpc, Dataset::kCola};

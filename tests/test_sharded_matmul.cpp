@@ -515,21 +515,33 @@ TEST(ShardedFunctional, RunEncoderOneValidatesShardCount) {
   EXPECT_NO_THROW((void)model.run_encoder_one(inputs[0], 1, 1, 4));
 }
 
-TEST(ShardedFunctional, BatchShimForwardsShardCount) {
+TEST(ShardedFunctional, ClosedBatchForwardsShardCount) {
   const core::BatchEncoderSim model(tiny_sharded_cfg(4), kTiny, 0xB127, 1);
   const auto inputs = workload::embedding_batch(
       3, 7, static_cast<std::size_t>(kTiny.d_model), 1.0, 0xA3);
   sim::BatchScheduler sched(2);
-  const auto out = model.run_encoder_batch(inputs, sched, 0x5EED, 1, 4);
+  // Closed batch via the documented composition rule: index i runs with
+  // seed workload::sequence_seed(run_seed, i).
+  const auto out = sched.map<nn::Tensor>(inputs.size(), [&](std::size_t i) {
+    return model.run_encoder_one(inputs[i], workload::sequence_seed(0x5EED, i),
+                                 1, 4);
+  });
   ASSERT_EQ(out.size(), inputs.size());
   for (std::size_t i = 0; i < out.size(); ++i) {
     EXPECT_TRUE(nn::Tensor::bit_identical(
         out[i],
         model.run_encoder_one(inputs[i], workload::sequence_seed(0x5EED, i), 1, 4)));
   }
-  // Out-of-range through the shim, too.
-  EXPECT_THROW((void)model.run_encoder_batch(inputs, sched, 0x5EED, 1, 9),
-               InvalidArgument);
+  // Out-of-range surfaces through the scheduler-composed path, too.
+  EXPECT_THROW(
+      (void)sched.map<nn::Tensor>(inputs.size(),
+                                  [&](std::size_t i) {
+                                    return model.run_encoder_one(
+                                        inputs[i],
+                                        workload::sequence_seed(0x5EED, i), 1,
+                                        9);
+                                  }),
+      InvalidArgument);
 }
 
 /// Shared provisioned-4-shards serving model (construction dominates cost).

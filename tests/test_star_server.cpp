@@ -48,10 +48,8 @@ std::vector<nn::Tensor> test_inputs(std::size_t n, std::uint64_t seed,
 /// closed-batch run with the request's own run_seed.
 nn::Tensor solo_reference(const core::BatchEncoderSim& model,
                           const nn::Tensor& input, std::uint64_t run_seed) {
-  sim::BatchScheduler solo(1);
-  const nn::Tensor one[] = {input};
-  auto out = model.run_encoder_batch(one, solo, run_seed);
-  return std::move(out[0]);
+  // The serving seed rule: a solo run is batch index 0 of run_seed.
+  return model.run_encoder_one(input, workload::sequence_seed(run_seed, 0));
 }
 
 // ---------- determinism contract ----------
@@ -194,12 +192,11 @@ TEST(StarServer, AttentionVariantMatchesSoloRun) {
     auto fut = server.submit(serve::AttentionRequest{qkv[i], run_seed});
     const auto resp = fut.get();
 
-    sim::BatchScheduler solo(1);
-    const workload::QkvTriple one[] = {qkv[i]};
-    const auto ref = model.run_attention_batch(one, solo, run_seed);
-    EXPECT_TRUE(nn::Tensor::bit_identical(resp.result.output, ref[0].output));
+    const auto ref = model.run_attention_one(
+        qkv[i], workload::sequence_seed(run_seed, 0));
+    EXPECT_TRUE(nn::Tensor::bit_identical(resp.result.output, ref.output));
     EXPECT_TRUE(nn::Tensor::bit_identical(resp.result.probabilities,
-                                          ref[0].probabilities));
+                                          ref.probabilities));
   }
 }
 
