@@ -63,9 +63,18 @@
 // the bucketed virtual-time soak with the STAR-calibrated (cached) service
 // model so the hit rate is exercised at 10^6-lookup scale.
 //
+// Part 9 (allocation-free functional hot path): the arena-backed
+// run_encoder_one_into serve kernel measured three ways — against the
+// allocating nn:: reference chain in-process (functional_arena_speedup),
+// as warm multi-round throughput at the serve thread count
+// (functional_rps), and under the operator-new audit where available
+// (allocs_per_warm_request; the zero-allocation invariant CI pins on
+// Debug/-DSTAR_AUDIT=ON cells — -1 when the build has no instrumentation).
+//
 // Flags (see --help): --threads, --batch, --seqlen, --layers, --shards,
 // --mixed-datasets, --residency-cap, --length-dist, --buckets,
-// --soak-arrivals, --nodes, --route-policy, --analytic-requests, --csv.
+// --soak-arrivals, --nodes, --nodes-sweep, --route-policy,
+// --analytic-requests, --csv.
 // The last stdout line is a one-line JSON summary for BENCH_*.json
 // tracking, validated by CI (`tail -n 1 | python3 -m json.tool`).
 // Wall-clock speedup tracks the physical cores of the host (a
@@ -82,7 +91,10 @@
 
 #include "core/batch_encoder.hpp"
 #include "core/encoder_stack.hpp"
+#include "core/softmax_engine.hpp"
+#include "nn/workspace.hpp"
 #include "serve/batch_sim.hpp"
+#include "util/alloc_counter.hpp"
 #include "serve/cluster.hpp"
 #include "serve/star_server.hpp"
 #include "util/argparse.hpp"
@@ -216,6 +228,11 @@ int main(int argc, char** argv) {
                "section (1 = skip the multi-node comparison, report "
                "single-node figures)",
                1, 64);
+  args.add_string("nodes-sweep", "",
+                  "comma list of node counts (e.g. 1,2,4,8) to sweep the "
+                  "selected routing policy over, emitting per-count "
+                  "scaling_efficiency and wait p99 into the JSON summary "
+                  "(empty = skip)");
   args.add_string("route-policy", "rr",
                   "routing policy the scaling-efficiency pair runs under "
                   "(all three are always swept for the per-policy report)",
@@ -344,6 +361,111 @@ int main(int argc, char** argv) {
              identical ? "1" : "0"});
   }
   table.print();
+
+  // --- Part 9: allocation-free functional hot path ------------------------
+  // 9a: in-process arena-vs-legacy. The legacy side is the allocating nn::
+  // reference chain (fresh tensors, per-head dense slices) driven through
+  // SoftmaxEngineView — exactly what run_encoder_one used to execute; the
+  // arena side is run_encoder_one_into with one caller-owned workspace and
+  // a reused output tensor. Same seeds, so both sides also cross-check
+  // bit-identity against Part 1's reference outputs.
+  const auto legacy_chain = [&](std::size_t i) {
+    core::SoftmaxEngineView view(model.softmax_engine(),
+                                 workload::sequence_seed(0x5EED, i));
+    nn::Tensor x =
+        nn::encoder_layer_forward(inputs[i], model.layer_weights(0), view);
+    for (std::int64_t l = 1; l < num_layers; ++l) {
+      x = nn::encoder_layer_forward(x, model.layer_weights(l), view);
+    }
+    return x;
+  };
+  core::EncoderWorkspace hot_ws;
+  nn::Tensor hot_out;
+  const auto arena_pass = [&] {
+    for (std::size_t i = 0; i < batch; ++i) {
+      model.run_encoder_one_into(inputs[i], workload::sequence_seed(0x5EED, i),
+                                 hot_out, num_layers, num_shards,
+                                 workload::Dataset::kDefault, nullptr, &hot_ws);
+    }
+  };
+  // Identity first (untimed), then multi-round timing: one batch pass is
+  // milliseconds, so a single sample would be scheduler noise, and the
+  // bit_identical sweep must not be billed to the legacy side.
+  bool hot_identical = true;
+  for (std::size_t i = 0; i < batch; ++i) {
+    hot_identical =
+        hot_identical && nn::Tensor::bit_identical(legacy_chain(i), reference[i]);
+  }
+  constexpr std::size_t kCompareRounds = 16;
+  const double t_legacy = run_seconds([&] {
+    for (std::size_t r = 0; r < kCompareRounds; ++r) {
+      for (std::size_t i = 0; i < batch; ++i) {
+        (void)legacy_chain(i);
+      }
+    }
+  }) / static_cast<double>(kCompareRounds);
+  arena_pass();  // warm-up: size the arena/scratch, settle residency hits
+  const double t_arena = run_seconds([&] {
+    for (std::size_t r = 0; r < kCompareRounds; ++r) {
+      arena_pass();
+    }
+  }) / static_cast<double>(kCompareRounds);
+  hot_identical =
+      hot_identical && nn::Tensor::bit_identical(hot_out, reference[batch - 1]);
+  all_identical = all_identical && hot_identical;
+  const double functional_arena_speedup = t_legacy / t_arena;
+
+  // 9b: warm serve-shaped throughput — multi-round closed batches at the
+  // serve thread count on the pooled (one-workspace-per-worker) path.
+  constexpr std::size_t kHotRounds = 16;
+  sim::BatchScheduler hot_sched(serve_threads);
+  std::vector<nn::Tensor> hot_batch_out =
+      encoder_batch(model, inputs, hot_sched, 0x5EED, num_layers, num_shards);
+  const double t_hot = run_seconds([&] {
+    for (std::size_t r = 0; r < kHotRounds; ++r) {
+      hot_batch_out =
+          encoder_batch(model, inputs, hot_sched, 0x5EED, num_layers, num_shards);
+    }
+  });
+  all_identical = all_identical && byte_identical(hot_batch_out, reference);
+  const double functional_rps =
+      static_cast<double>(kHotRounds * batch) / t_hot;
+
+  // 9c: the zero-allocation invariant, measured where the operator-new
+  // audit is compiled in (Debug / -DSTAR_AUDIT=ON, never under a
+  // sanitizer). -1 marks "not instrumented" so CI only asserts on cells
+  // whose number is real.
+  double allocs_per_warm_request = -1.0;
+  if (util::alloc_audit_enabled()) {
+    constexpr std::size_t kAuditReqs = 8;
+    const util::AllocCounter counter;
+    for (std::size_t i = 0; i < kAuditReqs; ++i) {
+      model.run_encoder_one_into(inputs[i % batch],
+                                 workload::sequence_seed(0x5EED, i), hot_out,
+                                 num_layers, num_shards,
+                                 workload::Dataset::kDefault, nullptr, &hot_ws);
+    }
+    allocs_per_warm_request = static_cast<double>(counter.allocations()) /
+                              static_cast<double>(kAuditReqs);
+  }
+
+  std::printf("\nFunctional hot path (arena workspaces, %lld layers):\n",
+              static_cast<long long>(num_layers));
+  std::printf("  legacy chain      %.1f seq/s (allocating nn:: reference)\n",
+              static_cast<double>(batch) / t_legacy);
+  std::printf("  arena kernel      %.1f seq/s single-thread (speedup %.2fx), "
+              "bit-identical %s\n",
+              static_cast<double>(batch) / t_arena, functional_arena_speedup,
+              hot_identical ? "yes" : "NO (BUG)");
+  std::printf("  warm throughput   %.1f seq/s at %d threads (%zu rounds)\n",
+              functional_rps, serve_threads, kHotRounds);
+  if (allocs_per_warm_request >= 0.0) {
+    std::printf("  heap allocations  %.2f per warm request (audited)\n",
+                allocs_per_warm_request);
+  } else {
+    std::printf("  heap allocations  not instrumented in this build "
+                "(Debug / -DSTAR_AUDIT=ON measures)\n");
+  }
 
   // --- Part 2: open-loop server mode --------------------------------------
   // Offered load ~2x the sequential service rate so the batcher actually
@@ -734,6 +856,53 @@ int main(int argc, char** argv) {
               tput_1, tput_n, num_nodes, scaling_efficiency,
               route_policy.c_str());
 
+  // Node-count sweep (--nodes-sweep): the selected policy replayed over the
+  // same trace at each count, each point's efficiency anchored to the same
+  // 1-node baseline as the headline figure above. Emitted as a JSON array
+  // so BENCH_<pr>.json carries the whole scaling trajectory, not one point.
+  std::string nodes_sweep_json = "[]";
+  const std::string nodes_sweep_spec = args.get_string("nodes-sweep");
+  if (!nodes_sweep_spec.empty()) {
+    std::vector<std::size_t> sweep_counts;
+    std::size_t pos = 0;
+    while (pos <= nodes_sweep_spec.size()) {
+      std::size_t comma = nodes_sweep_spec.find(',', pos);
+      if (comma == std::string::npos) {
+        comma = nodes_sweep_spec.size();
+      }
+      const std::string tok = nodes_sweep_spec.substr(pos, comma - pos);
+      char* end = nullptr;
+      const long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (tok.empty() || end == tok.c_str() || *end != '\0' || v < 1 || v > 64) {
+        std::fprintf(stderr, "--nodes-sweep: malformed count '%s' in '%s'\n",
+                     tok.c_str(), nodes_sweep_spec.c_str());
+        return 2;
+      }
+      sweep_counts.push_back(static_cast<std::size_t>(v));
+      pos = comma + 1;
+    }
+    std::printf("  node sweep        policy %s:", route_policy.c_str());
+    nodes_sweep_json = "[";
+    for (std::size_t s = 0; s < sweep_counts.size(); ++s) {
+      const std::size_t n = sweep_counts[s];
+      const ClusterRun r = run_cluster(selected_policy, n);
+      all_identical = all_identical && r.identical;
+      const double tput = static_cast<double>(batch) / r.wall_s;
+      const double eff = tput / (tput_1 * static_cast<double>(n));
+      char entry[160];
+      std::snprintf(entry, sizeof entry,
+                    "%s{\"nodes\":%zu,\"seq_per_s\":%.2f,"
+                    "\"scaling_efficiency\":%.4f,\"wait_p99_ms\":%.4f}",
+                    s == 0 ? "" : ",", n, tput, eff,
+                    r.stats.queue_wait_p99_s * 1e3);
+      nodes_sweep_json += entry;
+      std::printf(" [%zu: %.1f seq/s, eff %.3f, p99 %.3f ms]", n, tput, eff,
+                  r.stats.queue_wait_p99_s * 1e3);
+    }
+    nodes_sweep_json += "]";
+    std::printf("\n");
+  }
+
   // Deterministic residency comparison: a sequential (submit-and-get)
   // mixed-dataset pass, so routing always sees settled residency state and
   // the cold-miss counts are exact, CI-assertable numbers: round-robin
@@ -887,6 +1056,9 @@ int main(int argc, char** argv) {
               "\"analytic_cache_speedup\":%.4f,"
               "\"cost_cache_hits\":%llu,\"cost_cache_misses\":%llu,"
               "\"cache_hit_rate\":%.6f,\"soak_cache_hit_rate\":%.6f,"
+              "\"functional_rps\":%.2f,\"functional_arena_speedup\":%.4f,"
+              "\"allocs_per_warm_request\":%.4f,\"alloc_audit\":%s,"
+              "\"nodes_sweep\":%s,"
               "\"contracts_checked\":%s,\"sanitizer\":\"%s\","
               "\"identical\":%s}\n",
               serve_threads, batch, seq_len,
@@ -927,6 +1099,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cache_stats.hits),
               static_cast<unsigned long long>(cache_stats.misses),
               cache_stats.hit_rate(), soak_cache_stats.hit_rate(),
+              functional_rps, functional_arena_speedup,
+              allocs_per_warm_request,
+              util::alloc_audit_enabled() ? "true" : "false",
+              nodes_sweep_json.c_str(),
               // Build-flavor provenance: which correctness tooling was live
               // when this record was produced (BENCH_<pr>.json archives it).
               star::contracts_enabled() ? "true" : "false",

@@ -24,6 +24,31 @@ std::vector<nn::EncoderLayerWeights> make_weights(const nn::BertConfig& bert,
 
 }  // namespace
 
+WorkspacePool::Lease::~Lease() {
+  if (ws_ != nullptr) {
+    pool_->put(std::move(ws_));
+  }
+}
+
+WorkspacePool::Lease WorkspacePool::lease() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      std::unique_ptr<EncoderWorkspace> ws = std::move(free_.back());
+      free_.pop_back();
+      return Lease(this, std::move(ws));
+    }
+  }
+  // Cold path: first requests of a new worker build fresh workspaces; the
+  // steady state pops warmed ones above without allocating.
+  return Lease(this, std::make_unique<EncoderWorkspace>());
+}
+
+void WorkspacePool::put(std::unique_ptr<EncoderWorkspace> ws) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(ws));
+}
+
 BatchEncoderSim::BatchEncoderSim(const StarConfig& cfg, const nn::BertConfig& bert,
                                  std::uint64_t weight_seed,
                                  std::int64_t stack_depth)
@@ -115,6 +140,23 @@ nn::Tensor BatchEncoderSim::run_encoder_one(const nn::Tensor& input,
                                             std::int64_t num_shards,
                                             workload::Dataset dataset,
                                             ResidencyCharge* charge) const {
+  // The returned owning tensor is this wrapper's one allocation; the
+  // audited zero-alloc path is run_encoder_one_into with a reused `out`.
+  nn::Tensor out;
+  run_encoder_one_into(input, engine_seed, out, num_layers, num_shards, dataset,
+                       charge);
+  return out;
+}
+
+// STAR_HOT
+void BatchEncoderSim::run_encoder_one_into(const nn::Tensor& input,
+                                           std::uint64_t engine_seed,
+                                           nn::Tensor& out,
+                                           std::int64_t num_layers,
+                                           std::int64_t num_shards,
+                                           workload::Dataset dataset,
+                                           ResidencyCharge* charge,
+                                           EncoderWorkspace* ws) const {
   require(input.cols() == static_cast<std::size_t>(bert_.d_model),
           "run_encoder_one: input width must equal d_model");
   require(num_layers >= 1 && num_layers <= stack_depth(),
@@ -129,19 +171,49 @@ nn::Tensor BatchEncoderSim::run_encoder_one(const nn::Tensor& input,
   if (charge != nullptr) {
     *charge = charged;
   }
-  SoftmaxEngineView view(softmax_engine(), engine_seed);
-  nn::Tensor x = nn::encoder_layer_forward(input, weights_[0], view);
-  for (std::int64_t l = 1; l < num_layers; ++l) {
-    x = nn::encoder_layer_forward(x, weights_[static_cast<std::size_t>(l)], view);
+
+  WorkspacePool::Lease lease(nullptr, nullptr);
+  if (ws == nullptr) {
+    lease = WorkspacePool::Lease(workspaces_.lease());
+    ws = lease.get();
   }
-  return x;
+  ws->softmax_run.reseed(engine_seed);
+  SoftmaxEngineRowRef softmax(softmax_engine(), ws->softmax_run);
+
+  const std::size_t seq = input.rows();
+  const std::size_t d_model = static_cast<std::size_t>(bert_.d_model);
+  ws->arena.reset();
+  ws->arena.require_capacity(nn::encoder_workspace_doubles(bert_, seq));
+  out.reshape(seq, d_model);
+  const nn::TensorView out_view = nn::view_of(out);
+
+  // Ping-pong chain: intermediate layers bounce between two arena buffers;
+  // the final layer writes straight into the caller's tensor. Layer order
+  // and per-layer operations are exactly the legacy chain's, so the bits
+  // match run_encoder_one's reference path for every depth.
+  const nn::TensorView ping = ws->arena.alloc_view(seq, d_model);
+  const nn::TensorView pong = ws->arena.alloc_view(seq, d_model);
+  for (std::int64_t l = 0; l < num_layers; ++l) {
+    const bool last = l == num_layers - 1;
+    const nn::TensorView dst = last ? out_view : (l % 2 == 0 ? ping : pong);
+    const nn::ConstTensorView src =
+        l == 0 ? nn::view_of(input)
+               : static_cast<nn::ConstTensorView>(l % 2 == 0 ? pong : ping);
+    nn::encoder_layer_forward_into(src, weights_[static_cast<std::size_t>(l)],
+                                   softmax, ws->arena, dst);
+  }
 }
 
 FunctionalAttentionResult BatchEncoderSim::run_attention_one(
     const workload::QkvTriple& qkv, std::uint64_t engine_seed) const {
-  SoftmaxRunState run(engine_seed);
+  // attention_on_star's tensors still allocate (accuracy path, not the hot
+  // serve loop), but the engine-internal scratch and counters come warm
+  // from the pooled run state — reseed() restarts the fault stream exactly
+  // as a fresh SoftmaxRunState(engine_seed) would.
+  const WorkspacePool::Lease lease = workspaces_.lease();
+  lease->softmax_run.reseed(engine_seed);
   return attention_on_star(qkv.q, qkv.k, qkv.v, matmul_engine(),
-                           softmax_engine(), run);
+                           softmax_engine(), lease->softmax_run);
 }
 
 AttentionRunResult BatchEncoderSim::run_analytic_one(std::int64_t seq_len,

@@ -23,22 +23,93 @@
 // workload::sequence_seeds(n, run_seed) themselves (the deprecated
 // run_*_batch shims that used to do it are retired; the composition rule
 // above IS the contract, pinned by tests/test_batch_scheduler.cpp).
+//
+// Workspace note (why buffer reuse cannot break determinism): the hot
+// functional path runs on pooled, reused EncoderWorkspaces — a bump arena
+// for every tensor intermediate plus a SoftmaxRunState for the engine's
+// fault RNG, counters and datapath scratch. Reuse is payload-invariant by
+// construction: every arena view and scratch vector is fully overwritten
+// before it is read (the fused kernels zero-fill or assign first), and
+// SoftmaxRunState::reseed() restarts the fault stream exactly as a fresh
+// state would. Which worker's workspace serves a request therefore never
+// reaches the output bits — tests/test_workspace.cpp pins arena-vs-legacy
+// bit-identity across thread counts, fault streams and reuse patterns.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "core/accelerator.hpp"
 #include "core/cost_cache.hpp"
 #include "core/functional_attention.hpp"
+#include "core/softmax_engine.hpp"
 #include "nn/bert.hpp"
+#include "nn/workspace.hpp"
 #include "sim/batch_scheduler.hpp"
 #include "workload/trace_gen.hpp"
 #include "xbar/residency.hpp"
 
 namespace star::core {
+
+/// Everything one in-flight functional request needs that is neither the
+/// shared read-only model nor the request payload: the bump arena behind
+/// the fused nn::*_into kernels and the softmax engine's per-run state
+/// (fault RNG + cloned counters + datapath scratch). Sized lazily on first
+/// use and reused request after request — a warm workspace makes the whole
+/// functional pass allocation-free.
+struct EncoderWorkspace {
+  nn::Workspace arena;
+  SoftmaxRunState softmax_run;
+};
+
+/// Mutex-protected freelist of EncoderWorkspaces. One workspace ends up
+/// owned per concurrent worker in the steady state: lease() pops a warmed
+/// workspace (or builds a fresh one only when the pool is empty — the cold
+/// path), and the RAII Lease returns it on destruction. pop_back/push_back
+/// against retained vector capacity means a warm lease allocates nothing.
+class WorkspacePool {
+ public:
+  class Lease {
+   public:
+    Lease(WorkspacePool* pool, std::unique_ptr<EncoderWorkspace> ws)
+        : pool_(pool), ws_(std::move(ws)) {}
+    Lease(Lease&& o) noexcept : pool_(o.pool_), ws_(std::move(o.ws_)) {}
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&& o) noexcept {
+      if (this != &o) {
+        if (ws_ != nullptr) {
+          pool_->put(std::move(ws_));
+        }
+        pool_ = o.pool_;
+        ws_ = std::move(o.ws_);
+      }
+      return *this;
+    }
+    ~Lease();
+
+    [[nodiscard]] EncoderWorkspace& operator*() const { return *ws_; }
+    [[nodiscard]] EncoderWorkspace* operator->() const { return ws_.get(); }
+    [[nodiscard]] EncoderWorkspace* get() const { return ws_.get(); }
+
+   private:
+    WorkspacePool* pool_;
+    std::unique_ptr<EncoderWorkspace> ws_;
+  };
+
+  [[nodiscard]] Lease lease();
+
+ private:
+  friend class Lease;
+  void put(std::unique_ptr<EncoderWorkspace> ws);
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<EncoderWorkspace>> free_;
+};
 
 /// What the residency layer charged one request: the programming bill for
 /// every image that was not resident, plus the hit/miss attribution the
@@ -113,6 +184,21 @@ class BatchEncoderSim {
       std::int64_t num_layers = 1, std::int64_t num_shards = 1,
       workload::Dataset dataset = workload::Dataset::kDefault,
       ResidencyCharge* charge = nullptr) const;
+
+  /// Allocation-free variant of run_encoder_one: the audited zero-alloc
+  /// kernel the serving path runs on. Writes the final layer's output into
+  /// `out` (reshaped in place — a warm caller-reused tensor absorbs request
+  /// after request without reallocating) and draws every intermediate from
+  /// an EncoderWorkspace: the caller's `ws` if non-null (single-threaded
+  /// bench/audit loops), else a pool lease (one workspace per concurrent
+  /// worker in steady state). Bit-identical to run_encoder_one for every
+  /// (input, seed, layers, shards, dataset) — the wrapper delegates here.
+  void run_encoder_one_into(const nn::Tensor& input, std::uint64_t engine_seed,
+                            nn::Tensor& out, std::int64_t num_layers = 1,
+                            std::int64_t num_shards = 1,
+                            workload::Dataset dataset = workload::Dataset::kDefault,
+                            ResidencyCharge* charge = nullptr,
+                            EncoderWorkspace* ws = nullptr) const;
 
   /// Full-hardware attention path: attention_on_star(qkv) with both matmuls
   /// on the crossbar MatMul engine.
@@ -209,6 +295,9 @@ class BatchEncoderSim {
   std::uint64_t cost_fingerprint_ = 0;
   /// Same mutability story as residency_: the memo table is per-run state.
   mutable CostCache cost_cache_;
+  /// Pooled per-worker workspaces behind run_encoder_one_into /
+  /// run_attention_one — per-run mutable state, internally synchronised.
+  mutable WorkspacePool workspaces_;
 };
 
 }  // namespace star::core

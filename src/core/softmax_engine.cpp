@@ -99,16 +99,31 @@ std::vector<std::int64_t> SoftmaxEngine::forward_codes(
 
 std::vector<std::int64_t> SoftmaxEngine::forward_codes(
     std::span<const std::int64_t> codes, SoftmaxRunState& run) const {
+  std::vector<std::int64_t> probs(codes.size());
+  forward_codes_into(codes, run, probs);
+  return probs;
+}
+
+// STAR_HOT
+void SoftmaxEngine::forward_codes_into(std::span<const std::int64_t> codes,
+                                       SoftmaxRunState& run,
+                                       std::span<std::int64_t> probs_out) const {
   require(!codes.empty(), "SoftmaxEngine::forward_codes: empty row");
+  STAR_ASSERT(probs_out.size() == codes.size(),
+              "SoftmaxEngine::forward_codes_into: output span length mismatch");
   const std::int64_t code_max_allowed = (std::int64_t{1} << fmt_.total_bits()) - 1;
   for (const auto c : codes) {
     require(c >= 0 && c <= code_max_allowed,
             "SoftmaxEngine::forward_codes: code out of operand range");
   }
+  SoftmaxScratch& scratch = run.scratch;
 
-  // Stage 1: CAM/SUB — max find, then subtraction (Fig. 1).
-  const xbar::MaxFindResult mf = cam_sub_.find_max(codes, cfg_.cam_miss_prob, run.rng);
-  const std::vector<std::int64_t> diffs = cam_sub_.subtract_all(mf, codes);
+  // Stage 1: CAM/SUB — max find, then subtraction (Fig. 1). Both phases
+  // run against reused scratch (warm rows: zero allocations).
+  cam_sub_.find_max_into(codes, cfg_.cam_miss_prob, run.rng, scratch.match,
+                         scratch.maxfind);
+  scratch.diffs.resize(codes.size());
+  cam_sub_.subtract_into(scratch.maxfind, codes, scratch.diffs);
 
   // Stage 2: exponential via CAM search + LUT read, counters accumulate the
   // match histogram (Fig. 2). The counter array is per-run state: each
@@ -119,28 +134,45 @@ std::vector<std::int64_t> SoftmaxEngine::forward_codes(
   }
   hw::CounterArray& counters = *run.counters;
   counters.reset();
-  std::vector<std::int64_t> e_words(codes.size(), 0);
-  for (std::size_t i = 0; i < codes.size(); ++i) {
-    const std::int64_t mag = -diffs[i];
-    if (mag < exp_cam_.rows()) {
-      const auto match = exp_cam_.search(mag, cfg_.cam_miss_prob, run.rng);
-      e_words[i] = exp_lut_.read(match);
-      counters.accumulate(match);
+  scratch.e_words.assign(codes.size(), 0);
+  if (exp_cam_.unique_codes()) {
+    // O(1) per element: the exp CAM's identity preload (row r stores code
+    // r) is bijective, so search_row resolves the one matchline — and its
+    // fault draw — without materializing/scanning the dense match vector.
+    // e_words, counters and the RNG stream match the dense branch bit for
+    // bit.
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      const std::int64_t mag = -scratch.diffs[i];
+      if (mag < exp_cam_.rows()) {
+        const int row = exp_cam_.search_row(mag, cfg_.cam_miss_prob, run.rng);
+        if (row >= 0) {
+          scratch.e_words[i] = exp_lut_.word_at(row);
+          counters.accumulate_row(row);
+        }
+      }
+      // else: no matchline rises; e_word stays 0 and the counters hold.
     }
-    // else: no matchline rises; e_word stays 0 and the counters hold.
+  } else {
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      const std::int64_t mag = -scratch.diffs[i];
+      if (mag < exp_cam_.rows()) {
+        exp_cam_.search_into(mag, cfg_.cam_miss_prob, run.rng, scratch.match);
+        scratch.e_words[i] = exp_lut_.read(scratch.match);
+        counters.accumulate(scratch.match);
+      }
+      // else: no matchline rises; e_word stays 0 and the counters hold.
+    }
   }
 
   // Stage 3: summation VMM (counter histogram . stored table).
   const std::int64_t denom = summation_vmm(counters.counts());
 
   // Stage 4: division.
-  std::vector<std::int64_t> probs(codes.size());
   for (std::size_t i = 0; i < codes.size(); ++i) {
-    probs[i] = divider_.divide(e_words[i], denom, prob_frac_bits_);
+    probs_out[i] = divider_.divide(scratch.e_words[i], denom, prob_frac_bits_);
   }
 
   run.last_stats = compute_row_stats(static_cast<int>(codes.size()));
-  return probs;
 }
 
 std::vector<double> SoftmaxEngine::operator()(std::span<const double> x) {
@@ -149,7 +181,19 @@ std::vector<double> SoftmaxEngine::operator()(std::span<const double> x) {
 
 std::vector<double> SoftmaxEngine::softmax_row(std::span<const double> x,
                                                SoftmaxRunState& run) const {
+  std::vector<double> p(x.size());
+  softmax_row_into(x, run, p);
+  return p;
+}
+
+// STAR_HOT
+void SoftmaxEngine::softmax_row_into(std::span<const double> x,
+                                     SoftmaxRunState& run,
+                                     std::span<double> out) const {
   require(!x.empty(), "SoftmaxEngine: empty row");
+  STAR_ASSERT(out.size() == x.size(),
+              "SoftmaxEngine::softmax_row_into: output span length mismatch");
+  SoftmaxScratch& scratch = run.scratch;
 
   // Input conditioning: scores arrive as biased-signed fixed point —
   // code = round(x / res) + 2^(b-1), clamped into the window. Values below
@@ -157,19 +201,21 @@ std::vector<double> SoftmaxEngine::softmax_row(std::span<const double> x,
   const double res = fmt_.resolution();
   const std::int64_t bias = std::int64_t{1} << (fmt_.total_bits() - 1);
   const std::int64_t top = (std::int64_t{1} << fmt_.total_bits()) - 1;
-  std::vector<std::int64_t> codes(x.size());
+  scratch.codes.resize(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) {
     const auto c = static_cast<std::int64_t>(round_half_even(x[i] / res)) + bias;
-    codes[i] = std::clamp<std::int64_t>(c, 0, top);
+    scratch.codes[i] = std::clamp<std::int64_t>(c, 0, top);
   }
 
-  const auto prob_codes = forward_codes(codes, run);
-  std::vector<double> p(x.size());
+  // Probability codes land in the output span, then scale in place: the
+  // per-element operations (and the fault-RNG draws inside) are exactly
+  // the legacy softmax_row sequence, so both paths are bit-identical.
+  scratch.prob_codes.resize(x.size());
+  forward_codes_into(scratch.codes, run, scratch.prob_codes);
   const double inv = std::ldexp(1.0, -prob_frac_bits_);
   for (std::size_t i = 0; i < x.size(); ++i) {
-    p[i] = static_cast<double>(prob_codes[i]) * inv;
+    out[i] = static_cast<double>(scratch.prob_codes[i]) * inv;
   }
-  return p;
 }
 
 std::int64_t SoftmaxEngine::summation_vmm(std::span<const std::int64_t> counts) const {

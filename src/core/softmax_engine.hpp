@@ -55,17 +55,40 @@ struct SoftmaxRowStats {
   Energy e_maxfind{}, e_subtract{}, e_exp{}, e_sum{}, e_divide{};
 };
 
+/// Reusable per-run scratch buffers of the softmax datapath. Sized on the
+/// first row (assign/clear keep capacity), so every subsequent row of the
+/// same or smaller length allocates nothing — the arena discipline applied
+/// to the engine internals.
+struct SoftmaxScratch {
+  std::vector<std::int64_t> codes;    ///< quantised operand row
+  std::vector<std::int64_t> diffs;    ///< x_i - x_max from the CAM/SUB
+  std::vector<std::int64_t> e_words;  ///< LUT readouts per element
+  std::vector<bool> match;            ///< one search's matchline vector
+  xbar::MaxFindResult maxfind;        ///< phase-A result (vectors reused)
+  std::vector<std::int64_t> prob_codes;  ///< probability codes (codes stays live)
+};
+
 /// Per-run mutable state of one stream through a (shared, read-only)
 /// SoftmaxEngine: the fault-injection RNG stream and the last-row cost
 /// record. Each concurrent sequence owns one; the engine itself is never
 /// mutated on the const datapath.
 struct SoftmaxRunState {
   explicit SoftmaxRunState(std::uint64_t seed = 0xCA3) : rng(seed) {}
+
+  /// Rebind this state to a new request without discarding warmed-up
+  /// buffers: the RNG restarts exactly as a freshly constructed
+  /// SoftmaxRunState(seed) would (bit-identical fault streams), while the
+  /// cloned counters and scratch keep their capacity — reseeding is how a
+  /// pooled per-worker state serves request after request allocation-free.
+  void reseed(std::uint64_t seed) { rng = Rng(seed); }
+
   Rng rng;
   SoftmaxRowStats last_stats;
   /// Per-run counter array, cloned from the engine's prototype on first
   /// use and reset per row (so the hot loop never allocates).
   std::optional<hw::CounterArray> counters;
+  /// Datapath scratch, reused across rows and requests.
+  SoftmaxScratch scratch;
 };
 
 class SoftmaxEngine final : public nn::RowSoftmax {
@@ -92,6 +115,18 @@ class SoftmaxEngine final : public nn::RowSoftmax {
                                                 SoftmaxRunState& run) const;
   [[nodiscard]] std::vector<std::int64_t> forward_codes(
       std::span<const std::int64_t> codes, SoftmaxRunState& run) const;
+
+  // --- allocation-free datapath (the arena-backed hot path) ---
+  /// softmax_row writing into a caller span of x.size(); every
+  /// intermediate lives in run.scratch (warm rows allocate nothing).
+  /// Identical operation and fault-draw order to softmax_row(), which
+  /// delegates here.
+  void softmax_row_into(std::span<const double> x, SoftmaxRunState& run,
+                        std::span<double> out) const;
+  /// forward_codes writing probability codes into a caller span.
+  void forward_codes_into(std::span<const std::int64_t> codes,
+                          SoftmaxRunState& run,
+                          std::span<std::int64_t> probs_out) const;
 
   // --- formats ---
   [[nodiscard]] const fxp::QFormat& format() const { return fmt_; }
@@ -171,6 +206,26 @@ class SoftmaxEngineView final : public nn::RowSoftmax {
  private:
   const SoftmaxEngine* engine_;
   SoftmaxRunState run_;
+};
+
+/// Span-writing adapter binding a shared const SoftmaxEngine to a
+/// BORROWED per-run state (unlike SoftmaxEngineView, which owns its state
+/// by value and therefore clones the counter array per construction).
+/// The arena-backed encoder path constructs one of these per request over
+/// a pooled, reseeded SoftmaxRunState — construction is free.
+class SoftmaxEngineRowRef final : public nn::RowSoftmaxInto {
+ public:
+  SoftmaxEngineRowRef(const SoftmaxEngine& engine, SoftmaxRunState& run)
+      : engine_(&engine), run_(&run) {}
+
+  void operator()(std::span<const double> x, std::span<double> out) override {
+    engine_->softmax_row_into(x, *run_, out);
+  }
+  [[nodiscard]] const char* name() const override { return "star-crossbar-ref"; }
+
+ private:
+  const SoftmaxEngine* engine_;
+  SoftmaxRunState* run_;
 };
 
 }  // namespace star::core

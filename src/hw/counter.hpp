@@ -33,6 +33,11 @@ class CounterArray {
   /// 2^bits - 1 like the physical counter).
   void accumulate(const std::vector<bool>& one_hot);
 
+  /// O(1) accumulate of a known single matchline: identical saturation rule
+  /// to accumulate() with only bit `row` set. Hot-path companion for CAM
+  /// searches that resolve the matching row directly.
+  void accumulate_row(int row);
+
   /// Current histogram.
   [[nodiscard]] const std::vector<std::int64_t>& counts() const { return counts_; }
 

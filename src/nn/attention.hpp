@@ -22,15 +22,32 @@ Tensor scaled_dot_attention(const Tensor& q, const Tensor& k, const Tensor& v,
 /// which analyses score distributions before softmax).
 Tensor attention_scores(const Tensor& q, const Tensor& k);
 
-/// Weights of one multi-head attention block.
+/// Weights of one multi-head attention block, stored SoA: instead of a
+/// per-head std::vector<Tensor>, each projection is ONE flat weight block
+/// (d_model x heads * d_k) whose column slice [h*d_k, (h+1)*d_k) is head
+/// h's matrix. One fused X * Wq matmul then produces every head's Q in a
+/// single pass — and because the shared matmul kernel accumulates each
+/// output element independently over ascending k, the fused product is
+/// bit-identical per column to the per-head products it replaces.
 struct MhaWeights {
-  std::vector<Tensor> wq;  ///< per head: (d_model x d_k)
-  std::vector<Tensor> wk;
-  std::vector<Tensor> wv;
-  Tensor wo;               ///< (heads * d_k x d_model)
+  std::size_t heads = 0;
+  std::size_t d_k = 0;
+  Tensor wq;  ///< (d_model x heads * d_k), head h = columns [h*d_k, (h+1)*d_k)
+  Tensor wk;
+  Tensor wv;
+  Tensor wo;  ///< (heads * d_k x d_model)
 
+  /// Same RNG draw order as the historical per-head layout (per head:
+  /// wq[h] row-major, wk[h], wv[h]; then wo), scattered into the flat
+  /// blocks — weight VALUES are unchanged for any given rng stream.
   static MhaWeights random(std::size_t heads, std::size_t d_model, std::size_t d_k,
                            Rng& rng);
+
+  /// Dense copy of head h's projection slice (allocates; reference/test
+  /// use — the hot path reads the flat blocks directly).
+  [[nodiscard]] Tensor head_wq(std::size_t h) const;
+  [[nodiscard]] Tensor head_wk(std::size_t h) const;
+  [[nodiscard]] Tensor head_wv(std::size_t h) const;
 };
 
 /// Full multi-head attention: x (L x d_model) -> (L x d_model).

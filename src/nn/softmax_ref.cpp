@@ -8,9 +8,16 @@
 namespace star::nn {
 
 std::vector<double> softmax(std::span<const double> x) {
-  require(!x.empty(), "softmax: empty input");
-  const double m = *std::max_element(x.begin(), x.end());
   std::vector<double> out(x.size());
+  softmax_into(x, out);
+  return out;
+}
+
+// STAR_HOT
+void softmax_into(std::span<const double> x, std::span<double> out) {
+  require(!x.empty(), "softmax: empty input");
+  STAR_ASSERT(out.size() == x.size(), "softmax_into: output span length mismatch");
+  const double m = *std::max_element(x.begin(), x.end());
   double denom = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) {
     out[i] = std::exp(x[i] - m);
@@ -19,7 +26,6 @@ std::vector<double> softmax(std::span<const double> x) {
   for (auto& v : out) {
     v /= denom;
   }
-  return out;
 }
 
 Tensor softmax_rows(const Tensor& x) {

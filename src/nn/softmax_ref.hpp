@@ -12,6 +12,11 @@ namespace star::nn {
 /// Numerically stable softmax of one row: exp(x - max) / sum(exp(x - max)).
 std::vector<double> softmax(std::span<const double> x);
 
+/// Allocation-free softmax: writes the probabilities into `out` (same
+/// length as `x`; may alias it). Identical operation order to softmax(),
+/// so the two are bit-identical element for element.
+void softmax_into(std::span<const double> x, std::span<double> out);
+
 /// Row-wise softmax of a matrix.
 Tensor softmax_rows(const Tensor& x);
 
@@ -33,6 +38,27 @@ class ExactSoftmax final : public RowSoftmax {
  public:
   [[nodiscard]] std::vector<double> operator()(std::span<const double> x) override {
     return softmax(x);
+  }
+  [[nodiscard]] const char* name() const override { return "exact"; }
+};
+
+/// Span-writing row-softmax interface — the allocation-free counterpart of
+/// RowSoftmax used by the arena-backed attention kernels (nn/workspace.hpp).
+/// Implementations must write exactly x.size() probabilities into `out` and
+/// must not allocate on the warm path (per-run scratch lives behind the
+/// implementation, e.g. core::SoftmaxScratch).
+class RowSoftmaxInto {
+ public:
+  virtual ~RowSoftmaxInto() = default;
+  virtual void operator()(std::span<const double> x, std::span<double> out) = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// The exact implementation of RowSoftmaxInto (bit-identical to softmax()).
+class ExactSoftmaxInto final : public RowSoftmaxInto {
+ public:
+  void operator()(std::span<const double> x, std::span<double> out) override {
+    softmax_into(x, out);
   }
   [[nodiscard]] const char* name() const override { return "exact"; }
 };

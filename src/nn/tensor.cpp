@@ -13,14 +13,19 @@ Tensor::Tensor(std::size_t rows, std::size_t cols, double fill)
   require(rows >= 1 && cols >= 1, "Tensor: dimensions must be >= 1");
 }
 
-Tensor Tensor::from_rows(const std::vector<std::vector<double>>& rows) {
-  require(!rows.empty() && !rows[0].empty(), "Tensor::from_rows: empty data");
-  Tensor t(rows.size(), rows[0].size());
-  for (std::size_t r = 0; r < rows.size(); ++r) {
-    require(rows[r].size() == t.cols_, "Tensor::from_rows: ragged rows");
-    std::copy(rows[r].begin(), rows[r].end(), t.row(r).begin());
-  }
+Tensor Tensor::from_flat(std::size_t rows, std::size_t cols,
+                         std::span<const double> data) {
+  require(rows >= 1 && cols >= 1, "Tensor::from_flat: empty shape");
+  require(data.size() == rows * cols,
+          "Tensor::from_flat: data length must equal rows * cols");
+  Tensor t(rows, cols);
+  std::copy(data.begin(), data.end(), t.data_.begin());
   return t;
+}
+
+Tensor Tensor::from_flat(std::size_t rows, std::size_t cols,
+                         std::initializer_list<double> data) {
+  return from_flat(rows, cols, std::span<const double>(data.begin(), data.size()));
 }
 
 Tensor Tensor::randn(std::size_t rows, std::size_t cols, Rng& rng, double mean,
@@ -82,6 +87,13 @@ Tensor Tensor::transposed() const {
     }
   }
   return out;
+}
+
+void Tensor::reshape(std::size_t rows, std::size_t cols) {
+  require(rows >= 1 && cols >= 1, "Tensor::reshape: dimensions must be >= 1");
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
 }
 
 Tensor& Tensor::scale(double k) {

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <initializer_list>
 #include <span>
 #include <vector>
 
@@ -19,8 +20,13 @@ class Tensor {
   Tensor() = default;
   Tensor(std::size_t rows, std::size_t cols, double fill = 0.0);
 
-  /// Build from nested initialiser data (row-major; all rows equal length).
-  static Tensor from_rows(const std::vector<std::vector<double>>& rows);
+  /// Build from flat row-major data: exactly rows * cols values, copied
+  /// once (the nested-vector from_rows builder double-copied every weight).
+  static Tensor from_flat(std::size_t rows, std::size_t cols,
+                          std::span<const double> data);
+  /// Literal convenience: Tensor::from_flat(2, 2, {1.0, 2.0, 3.0, 4.0}).
+  static Tensor from_flat(std::size_t rows, std::size_t cols,
+                          std::initializer_list<double> data);
 
   /// i.i.d. normal(mean, stddev) entries.
   static Tensor randn(std::size_t rows, std::size_t cols, Rng& rng, double mean = 0.0,
@@ -46,6 +52,13 @@ class Tensor {
 
   /// Element-wise in-place scale.
   Tensor& scale(double k);
+
+  /// Re-shape in place, reusing the existing heap block whenever the new
+  /// element count fits its capacity (the warm-path output-reuse idiom:
+  /// a caller-owned result tensor absorbs one request after another
+  /// without reallocating). Contents after the call are unspecified —
+  /// every element is expected to be overwritten by the producing kernel.
+  void reshape(std::size_t rows, std::size_t cols);
 
   /// Element-wise map (returns a new tensor).
   [[nodiscard]] Tensor map(const std::function<double(double)>& f) const;

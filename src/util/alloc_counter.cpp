@@ -1,0 +1,134 @@
+#include "util/alloc_counter.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace star::util {
+namespace {
+
+#if defined(STAR_ALLOC_AUDIT)
+// Written only by the operator-new replacements below, on this thread.
+thread_local std::uint64_t g_thread_allocs = 0;
+#endif
+
+std::uint64_t current_thread_allocs() {
+#if defined(STAR_ALLOC_AUDIT)
+  return g_thread_allocs;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+AllocCounter::AllocCounter() : start_(current_thread_allocs()) {}
+
+std::uint64_t AllocCounter::allocations() const {
+  return current_thread_allocs() - start_;
+}
+
+std::uint64_t AllocCounter::thread_total() { return current_thread_allocs(); }
+
+}  // namespace star::util
+
+#if defined(STAR_ALLOC_AUDIT)
+
+// Global operator new/delete replacement, backed by malloc/aligned_alloc so
+// every delete flavor can unconditionally free(). The full variant set is
+// replaced together — mixing a counted new with a default sized delete
+// would be undefined. Sanitizer builds never define STAR_ALLOC_AUDIT: their
+// runtimes intercept the allocator themselves and the two replacements
+// cannot coexist.
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  ++star::util::g_thread_allocs;
+  // malloc(0) may return nullptr legally; operator new must not.
+  void* p = std::malloc(size == 0 ? 1 : size);
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::align_val_t al) {
+  ++star::util::g_thread_allocs;
+  const auto align = static_cast<std::size_t>(al);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded == 0 ? align : rounded);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t al) {
+  void* p = counted_aligned_alloc(size, al);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t al) {
+  void* p = counted_aligned_alloc(size, al);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t al,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, al);
+}
+
+void* operator new[](std::size_t size, std::align_val_t al,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, al);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // STAR_ALLOC_AUDIT

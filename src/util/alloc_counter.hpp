@@ -1,0 +1,50 @@
+// Heap-allocation audit for the zero-alloc hot-path contract.
+//
+// The arena-backed functional request path (nn::Workspace +
+// core::BatchEncoderSim::run_encoder_one_into) claims ZERO heap allocations
+// per warm request. Claims need instruments: when STAR_ALLOC_AUDIT is
+// defined (Debug builds and -DSTAR_AUDIT=ON, never under a sanitizer — see
+// CMakeLists.txt), this TU replaces the global operator new/delete set with
+// counting wrappers over malloc/free, and AllocCounter scopes read the
+// thread-local counter. In Release the counter is compiled to a constant
+// zero and the default allocator is untouched.
+//
+// The counter is THREAD-LOCAL by design: a scope counts only allocations
+// made by its own thread, so a single-threaded audit loop is immune to
+// background-thread noise (schedulers parked on condition variables).
+#pragma once
+
+#include <cstdint>
+
+namespace star::util {
+
+/// True when this build replaces operator new and AllocCounter counts.
+/// Tests gate their zero-alloc assertions on it so Release/sanitizer runs
+/// skip (not trivially pass) the audit.
+constexpr bool alloc_audit_enabled() {
+#if defined(STAR_ALLOC_AUDIT)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Scoped allocation counter: construct at the start of the audited region,
+/// read allocations() at the end. Counts operator-new calls (scalar, array,
+/// aligned, nothrow) made by the CURRENT thread since construction; zero in
+/// builds where alloc_audit_enabled() is false.
+class AllocCounter {
+ public:
+  AllocCounter();
+
+  /// Allocations on this thread since this counter was constructed.
+  [[nodiscard]] std::uint64_t allocations() const;
+
+  /// Lifetime allocation count of the current thread (audit builds only).
+  [[nodiscard]] static std::uint64_t thread_total();
+
+ private:
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace star::util

@@ -47,6 +47,34 @@ CamCrossbar::CamCrossbar(const hw::TechNode& tech, RramDevice device, int rows, 
   search_cost_.latency = Time::ns(kSearchPulseNs) + sa.cost().latency;
   leakage_ = sa.cost().leakage * static_cast<double>(rows_);
   search_cost_.leakage = leakage_;
+  rebuild_index();
+}
+
+void CamCrossbar::rebuild_index() {
+  // 2^16 * 4 B caps the table at 256 KiB; every crossbar the engine builds
+  // (<= 12-bit codes) is far below that, wider configs just keep the scan.
+  constexpr int kIndexMaxBits = 16;
+  if (bits_ > kIndexMaxBits) {
+    unique_codes_ = false;
+    row_of_code_.clear();
+    return;
+  }
+  row_of_code_.assign(std::size_t{1} << bits_, -1);
+  unique_codes_ = true;
+  for (int r = 0; r < rows_; ++r) {
+    const std::int64_t code = stored_[static_cast<std::size_t>(r)];
+    if (code < 0) {
+      continue;  // unprogrammed rows never match
+    }
+    std::int32_t& slot = row_of_code_[static_cast<std::size_t>(code)];
+    if (slot >= 0) {
+      // A duplicate code can raise two matchlines; only the dense scan
+      // reproduces that, so the O(1) path switches itself off.
+      unique_codes_ = false;
+      return;
+    }
+    slot = r;
+  }
 }
 
 void CamCrossbar::store(int r, std::int64_t code) {
@@ -54,6 +82,7 @@ void CamCrossbar::store(int r, std::int64_t code) {
   require(code >= 0 && code < (std::int64_t{1} << bits_),
           "CamCrossbar::store: code out of range for " + std::to_string(bits_) + " bits");
   stored_[static_cast<std::size_t>(r)] = code;
+  rebuild_index();
 }
 
 void CamCrossbar::fill(const std::vector<std::int64_t>& codes) {
@@ -70,16 +99,39 @@ std::vector<bool> CamCrossbar::search(std::int64_t code, double miss_prob) {
 
 std::vector<bool> CamCrossbar::search(std::int64_t code, double miss_prob,
                                       Rng& rng) const {
+  std::vector<bool> match;
+  search_into(code, miss_prob, rng, match);
+  return match;
+}
+
+// STAR_HOT
+void CamCrossbar::search_into(std::int64_t code, double miss_prob, Rng& rng,
+                              std::vector<bool>& match) const {
   require(code >= 0 && code < (std::int64_t{1} << bits_),
           "CamCrossbar::search: code out of range");
-  std::vector<bool> match(static_cast<std::size_t>(rows_), false);
+  match.assign(static_cast<std::size_t>(rows_), false);
   for (int r = 0; r < rows_; ++r) {
     if (stored_[static_cast<std::size_t>(r)] == code) {
       const bool sensed = miss_prob <= 0.0 || !rng.bernoulli(miss_prob);
       match[static_cast<std::size_t>(r)] = sensed;
     }
   }
-  return match;
+}
+
+// STAR_HOT
+int CamCrossbar::search_row(std::int64_t code, double miss_prob, Rng& rng) const {
+  require(code >= 0 && code < (std::int64_t{1} << bits_),
+          "CamCrossbar::search: code out of range");
+  STAR_ASSERT(unique_codes_, "CamCrossbar::search_row: requires unique stored codes");
+  const std::int32_t r = row_of_code_[static_cast<std::size_t>(code)];
+  if (r < 0) {
+    return -1;
+  }
+  // Same fault-draw rule as the dense scan: with unique codes exactly one
+  // row matches, so exactly one bernoulli is consumed (and none when fault
+  // injection is off) — the RNG stream stays bit-identical.
+  const bool sensed = miss_prob <= 0.0 || !rng.bernoulli(miss_prob);
+  return sensed ? static_cast<int>(r) : -1;
 }
 
 std::optional<int> CamCrossbar::search_index(std::int64_t code) {

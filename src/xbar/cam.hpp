@@ -47,6 +47,26 @@ class CamCrossbar {
   [[nodiscard]] std::vector<bool> search(std::int64_t code, double miss_prob,
                                          Rng& rng) const;
 
+  /// Allocation-free search: writes the matchline vector into caller-owned
+  /// scratch (resized to rows(); no allocation once its capacity covers
+  /// that). Same row scan and fault-draw order as search(), so the two are
+  /// bit- and RNG-stream-identical — search() delegates here.
+  void search_into(std::int64_t code, double miss_prob, Rng& rng,
+                   std::vector<bool>& match) const;
+
+  /// True when every programmed row holds a distinct code (and the code
+  /// space is small enough to index). Then a search can match at most one
+  /// row, which enables the O(1) search_row() fast path.
+  [[nodiscard]] bool unique_codes() const { return unique_codes_; }
+
+  /// O(1) search over the inverted code->row index: returns the matching
+  /// row, or -1 on a stored miss / injected sensing fault. Draws exactly
+  /// the fault samples the dense scan would (one bernoulli iff a row
+  /// matches and miss_prob > 0), so the matchline contents implied by the
+  /// result are bit- and RNG-stream-identical to search_into(). Only
+  /// valid when unique_codes() — callers must branch on it.
+  [[nodiscard]] int search_row(std::int64_t code, double miss_prob, Rng& rng) const;
+
   /// The member fault stream (legacy single-stream call sites).
   [[nodiscard]] Rng& fault_rng() { return rng_; }
 
@@ -69,6 +89,13 @@ class CamCrossbar {
   int bits_;
   Rng rng_;
   std::vector<std::int64_t> stored_;  // -1 = unprogrammed (never matches)
+  // Inverted index over stored_: code -> row, -1 = absent. Rebuilt after
+  // every mutation (programming is cold; searching is the hot path), valid
+  // only while the stored codes are pairwise distinct. Skipped entirely
+  // when 2^bits would make the table unreasonable.
+  void rebuild_index();
+  std::vector<std::int32_t> row_of_code_;
+  bool unique_codes_ = false;
   hw::Cost search_cost_;
   Area area_{};
   Power leakage_{};

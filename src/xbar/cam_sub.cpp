@@ -63,26 +63,57 @@ MaxFindResult CamSubCrossbar::find_max(std::span<const std::int64_t> codes,
 
 MaxFindResult CamSubCrossbar::find_max(std::span<const std::int64_t> codes,
                                        double miss_prob, Rng& rng) const {
+  MaxFindResult res;
+  std::vector<bool> match_scratch;
+  find_max_into(codes, miss_prob, rng, match_scratch, res);
+  return res;
+}
+
+// STAR_HOT
+void CamSubCrossbar::find_max_into(std::span<const std::int64_t> codes,
+                                   double miss_prob, Rng& rng,
+                                   std::vector<bool>& match_scratch,
+                                   MaxFindResult& res) const {
   require(!codes.empty(), "CamSubCrossbar::find_max: empty input");
   require(miss_prob >= 0.0 && miss_prob <= 1.0,
           "CamSubCrossbar::find_max: miss_prob in [0, 1]");
-  MaxFindResult res;
+  res.max_row = -1;
+  res.max_code = 0;
+  res.misses = 0;
   res.merged_matchlines.assign(static_cast<std::size_t>(rows()), false);
+  res.input_rows.clear();
   res.input_rows.reserve(codes.size());
 
-  for (const std::int64_t code : codes) {
-    const auto match = cam_.search(code, miss_prob, rng);
-    int matched_row = -1;
-    for (std::size_t r = 0; r < match.size(); ++r) {
-      if (match[r]) {
-        res.merged_matchlines[r] = true;  // the OR-gate cascade (Fig. 1, step 3)
-        matched_row = static_cast<int>(r);
+  if (cam_.unique_codes()) {
+    // O(1) per input: the descending preload is bijective, so each search
+    // raises at most one matchline — search_row resolves it (and draws the
+    // one fault sample) without the dense row scan. Results and RNG stream
+    // are bit-identical to the scan branch below.
+    for (const std::int64_t code : codes) {
+      const int matched_row = cam_.search_row(code, miss_prob, rng);
+      if (matched_row >= 0) {
+        res.merged_matchlines[static_cast<std::size_t>(matched_row)] = true;
       }
+      STAR_ASSERT(matched_row >= 0 || miss_prob > 0.0,
+                  "CamSubCrossbar::find_max: every preloaded code must match");
+      res.misses += (matched_row < 0) ? 1 : 0;
+      res.input_rows.push_back(matched_row);
     }
-    STAR_ASSERT(matched_row >= 0 || miss_prob > 0.0,
-                "CamSubCrossbar::find_max: every preloaded code must match");
-    res.misses += (matched_row < 0) ? 1 : 0;
-    res.input_rows.push_back(matched_row);
+  } else {
+    for (const std::int64_t code : codes) {
+      cam_.search_into(code, miss_prob, rng, match_scratch);
+      int matched_row = -1;
+      for (std::size_t r = 0; r < match_scratch.size(); ++r) {
+        if (match_scratch[r]) {
+          res.merged_matchlines[r] = true;  // the OR-gate cascade (Fig. 1, step 3)
+          matched_row = static_cast<int>(r);
+        }
+      }
+      STAR_ASSERT(matched_row >= 0 || miss_prob > 0.0,
+                  "CamSubCrossbar::find_max: every preloaded code must match");
+      res.misses += (matched_row < 0) ? 1 : 0;
+      res.input_rows.push_back(matched_row);
+    }
   }
 
   // Priority encode: first set bit == largest code (descending preload).
@@ -97,14 +128,23 @@ MaxFindResult CamSubCrossbar::find_max(std::span<const std::int64_t> codes,
     throw SimulationError(
         "CamSubCrossbar::find_max: every search missed; no matchline to encode");
   }
-  return res;
 }
 
 std::vector<std::int64_t> CamSubCrossbar::subtract_all(
     const MaxFindResult& mf, std::span<const std::int64_t> codes) const {
+  std::vector<std::int64_t> out(codes.size());
+  subtract_into(mf, codes, out);
+  return out;
+}
+
+// STAR_HOT
+void CamSubCrossbar::subtract_into(const MaxFindResult& mf,
+                                   std::span<const std::int64_t> codes,
+                                   std::span<std::int64_t> out) const {
   require(mf.input_rows.size() == codes.size(),
           "CamSubCrossbar::subtract_all: find_max result does not cover inputs");
-  std::vector<std::int64_t> out(codes.size());
+  STAR_ASSERT(out.size() == codes.size(),
+              "CamSubCrossbar::subtract_into: output span length mismatch");
   for (std::size_t i = 0; i < codes.size(); ++i) {
     if (mf.input_rows[i] < 0) {
       // Search miss: no row to drive; the SL stays discharged, which the
@@ -121,7 +161,6 @@ std::vector<std::int64_t> CamSubCrossbar::subtract_all(
     }
     STAR_ASSERT(out[i] <= 0, "CamSubCrossbar::subtract_all: difference must be <= 0");
   }
-  return out;
 }
 
 Energy CamSubCrossbar::maxfind_energy(int d) const {

@@ -64,11 +64,23 @@ class CamSubCrossbar {
   [[nodiscard]] MaxFindResult find_max(std::span<const std::int64_t> codes,
                                        double miss_prob, Rng& rng) const;
 
+  /// Allocation-free find_max: the result's vectors and the per-search
+  /// matchline scratch are caller-owned and reused across rows (assign/
+  /// clear keep capacity, so a warm row allocates nothing). Identical scan
+  /// and fault-draw order to find_max(), which delegates here.
+  void find_max_into(std::span<const std::int64_t> codes, double miss_prob,
+                     Rng& rng, std::vector<bool>& match_scratch,
+                     MaxFindResult& res) const;
+
   /// Phase B: per-element x_i - x_max (non-positive), given a find_max
   /// result. Missed inputs return -(2^bits) (below every representable
   /// magnitude, i.e. their exponential underflows to zero downstream).
   [[nodiscard]] std::vector<std::int64_t> subtract_all(const MaxFindResult& mf,
                                                        std::span<const std::int64_t> codes) const;
+
+  /// Allocation-free subtract: writes into a caller span of codes.size().
+  void subtract_into(const MaxFindResult& mf, std::span<const std::int64_t> codes,
+                     std::span<std::int64_t> out) const;
 
   // --- cost model ---
   [[nodiscard]] Area area() const { return area_; }

@@ -46,10 +46,12 @@ void LutCrossbar::fill(const std::vector<std::int64_t>& words) {
   }
 }
 
+// STAR_HOT
 std::int64_t LutCrossbar::read(const std::vector<bool>& one_hot) const {
+  // Literal message only: read() runs once per softmax element on the
+  // zero-allocation serve path (an eager expected_got would heap-allocate).
   require(static_cast<int>(one_hot.size()) == rows_,
-          expected_got("LutCrossbar::read wordlines", rows_,
-                       static_cast<long long>(one_hot.size())));
+          "LutCrossbar::read: wordline count must equal rows");
   int selected = -1;
   for (int r = 0; r < rows_; ++r) {
     if (one_hot[static_cast<std::size_t>(r)]) {

@@ -75,7 +75,7 @@ TEST(SoftmaxRef, OrderPreserving) {
 }
 
 TEST(SoftmaxRef, SoftmaxRowsAppliesPerRow) {
-  const auto x = Tensor::from_rows({{0.0, 0.0}, {0.0, 100.0}});
+  const auto x = Tensor::from_flat(2, 2, {0.0, 0.0, 0.0, 100.0});
   const auto p = softmax_rows(x);
   EXPECT_NEAR(p.at(0, 0), 0.5, 1e-12);
   EXPECT_NEAR(p.at(1, 1), 1.0, 1e-12);

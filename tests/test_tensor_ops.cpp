@@ -22,11 +22,26 @@ TEST(Tensor, ConstructionAndIndexing) {
   EXPECT_DOUBLE_EQ(t.at(0, 1), 7.0);
 }
 
-TEST(Tensor, FromRowsAndRaggedRejected) {
-  const auto t = Tensor::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+TEST(Tensor, FromFlatAndBadShapesRejected) {
+  const auto t = Tensor::from_flat(2, 2, {1.0, 2.0, 3.0, 4.0});
   EXPECT_DOUBLE_EQ(t.at(1, 0), 3.0);
-  EXPECT_THROW(Tensor::from_rows({{1.0}, {2.0, 3.0}}), InvalidArgument);
-  EXPECT_THROW(Tensor::from_rows({}), InvalidArgument);
+  // Data length must be exactly rows * cols, and both dims must be >= 1.
+  EXPECT_THROW(Tensor::from_flat(2, 2, {1.0, 2.0, 3.0}), InvalidArgument);
+  EXPECT_THROW(Tensor::from_flat(0, 2, std::initializer_list<double>{}),
+               InvalidArgument);
+  EXPECT_THROW(Tensor::from_flat(1, 0, std::initializer_list<double>{}),
+               InvalidArgument);
+}
+
+TEST(Tensor, ReshapeReusesStorage) {
+  Tensor t(2, 6, 1.0);
+  t.reshape(3, 4);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_EQ(t.size(), 12u);
+  t.reshape(1, 2);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_THROW(t.reshape(0, 4), InvalidArgument);
 }
 
 TEST(Tensor, MatmulMatchesNaive) {
@@ -63,7 +78,7 @@ TEST(Tensor, TransposeInvolution) {
 }
 
 TEST(Tensor, ScaleAndMap) {
-  Tensor t = Tensor::from_rows({{1.0, -2.0}});
+  Tensor t = Tensor::from_flat(1, 2, {1.0, -2.0});
   t.scale(2.0);
   EXPECT_DOUBLE_EQ(t.at(0, 1), -4.0);
   const auto abs_t = t.map([](double v) { return std::fabs(v); });
@@ -71,11 +86,11 @@ TEST(Tensor, ScaleAndMap) {
 }
 
 TEST(Tensor, AddSubtract) {
-  const auto a = Tensor::from_rows({{1.0, 2.0}});
-  const auto b = Tensor::from_rows({{10.0, 20.0}});
+  const auto a = Tensor::from_flat(1, 2, {1.0, 2.0});
+  const auto b = Tensor::from_flat(1, 2, {10.0, 20.0});
   EXPECT_DOUBLE_EQ((a + b).at(0, 1), 22.0);
   EXPECT_DOUBLE_EQ((b - a).at(0, 0), 9.0);
-  const auto c = Tensor::from_rows({{1.0}});
+  const auto c = Tensor::from_flat(1, 1, {1.0});
   EXPECT_THROW(a + c, InvalidArgument);
 }
 
@@ -115,13 +130,13 @@ TEST(Ops, GeluKnownValues) {
 }
 
 TEST(Ops, GeluTensorElementwise) {
-  const auto x = Tensor::from_rows({{0.0, 1.0, -1.0}});
+  const auto x = Tensor::from_flat(1, 3, {0.0, 1.0, -1.0});
   const auto y = gelu(x);
   EXPECT_NEAR(y.at(0, 1), gelu(1.0), 1e-12);
 }
 
 TEST(Ops, AddBias) {
-  const auto x = Tensor::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const auto x = Tensor::from_flat(2, 2, {1.0, 2.0, 3.0, 4.0});
   const std::vector<double> bias{10.0, 20.0};
   const auto y = add_bias(x, bias);
   EXPECT_DOUBLE_EQ(y.at(0, 0), 11.0);

@@ -30,6 +30,13 @@ runtime half is util/contract.hpp's STAR_CONTRACT layer):
                      …Sim, …Manager, …Server, …Scheduler, …Cluster)
                      document their determinism story (the docstring must
                      mention "determin…" somewhere in the header).
+  hot-path-no-alloc  functions annotated // STAR_HOT (the audited
+                     zero-allocation serve path, PR 10) never contain the
+                     textual allocation tells: operator new, make_unique/
+                     make_shared, std::to_string, eager expected_got()
+                     messages, or local std::vector/std::string
+                     declarations. The runtime half is util::AllocCounter;
+                     this rule catches the regression at review time.
 
 Usage:
   tools/star_lint.py                  # lint src/ under the repo root
@@ -311,6 +318,66 @@ def rule_determinism_doc(path: str, text: str, code: str) -> List[Violation]:
 
 
 # --------------------------------------------------------------------------
+# Rule: hot-path-no-alloc
+# --------------------------------------------------------------------------
+
+# Markers live in comments, so they are matched against the RAW text; the
+# body they annotate is scanned in the stripped code (string literals in a
+# require() message must not trip the patterns).
+_HOT_MARKER = re.compile(r"//\s*STAR_HOT\b")
+
+_HOT_ALLOC_PATTERNS: List[Tuple[re.Pattern, str]] = [
+    (re.compile(r"\bnew\b"), "operator new allocates"),
+    (re.compile(r"\bmake_unique\b|\bmake_shared\b"),
+     "make_unique/make_shared allocate"),
+    (re.compile(r"\bto_string\s*\("),
+     "std::to_string builds a heap string"),
+    (re.compile(r"\bexpected_got\s*\("),
+     "expected_got builds its message eagerly, even when the check passes "
+     "(use a literal message)"),
+    # Local container declarations (references pass through: the '&' between
+    # the type and the name keeps the pattern from matching).
+    (re.compile(r"\b(?:std::\s*)?vector\s*<[^;]*?>\s+[A-Za-z_]\w*"),
+     "local std::vector declaration allocates"),
+    (re.compile(r"\b(?:std::\s*)?string\s+[A-Za-z_]\w*\s*[;({=]"),
+     "local std::string declaration allocates"),
+]
+
+
+def _hot_function_bodies(text: str, code: str) -> List[Tuple[int, str]]:
+    """(body start offset, body text) for each // STAR_HOT-marked function."""
+    bodies = []
+    for m in _HOT_MARKER.finditer(text):
+        i = code.find("{", m.end())
+        if i < 0:
+            continue
+        depth, j, n = 0, i, len(code)
+        while j < n:
+            if code[j] == "{":
+                depth += 1
+            elif code[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        bodies.append((i + 1, code[i + 1:j]))
+    return bodies
+
+
+def rule_hot_path_no_alloc(path: str, text: str, code: str) -> List[Violation]:
+    found = []
+    for start, body in _hot_function_bodies(text, code):
+        for pat, why in _HOT_ALLOC_PATTERNS:
+            for m in pat.finditer(body):
+                found.append(Violation(
+                    path, line_of(code, start + m.start()), "hot-path-no-alloc",
+                    f"{why}; functions marked // STAR_HOT are the audited "
+                    "zero-allocation warm path (util::AllocCounter pins it "
+                    "at runtime)"))
+    return found
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
@@ -320,6 +387,7 @@ RULES = [
     rule_rng_explicit_seed,
     rule_const_compute_entry,
     rule_determinism_doc,
+    rule_hot_path_no_alloc,
 ]
 
 
@@ -400,6 +468,25 @@ _FIXTURES: List[Tuple[str, str, str, Optional[str]]] = [
      "class FooEngine { public: int run(); };\n", "", None),
     ("src/fake/ok_engine_fwd.hpp",
      "class FooEngine;\nstruct Bar { FooEngine* e; };\n", "", None),
+    ("src/fake/bad_hot_new.cpp",
+     "// STAR_HOT\nint* f() { return new int(7); }\n",
+     "hot-path-no-alloc", None),
+    ("src/fake/bad_hot_tostring.cpp",
+     "// STAR_HOT\nvoid f(int r, int n) {\n"
+     "  require(r < n, \"row \" + std::to_string(r));\n}\n",
+     "hot-path-no-alloc", None),
+    ("src/fake/bad_hot_local_vector.cpp",
+     "// STAR_HOT\nvoid f() { std::vector<double> tmp(8); (void)tmp; }\n",
+     "hot-path-no-alloc", None),
+    ("src/fake/bad_hot_expected_got.cpp",
+     "// STAR_HOT\nvoid f(int a, int b) { require(a == b, expected_got(a, b)); }\n",
+     "hot-path-no-alloc", None),
+    ("src/fake/ok_hot_scratch_ref.cpp",
+     "// STAR_HOT\nvoid f(std::vector<bool>& match) {\n"
+     "  require(!match.empty(), \"f: match must be sized\");\n"
+     "  match.assign(match.size(), false);\n}\n", "", None),
+    ("src/fake/ok_cold_vector.cpp",
+     "void cold() { std::vector<double> tmp(8); (void)tmp; }\n", "", None),
 ]
 
 
